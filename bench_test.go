@@ -1,0 +1,172 @@
+// Package acr's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes its experiment and reports the headline metric
+// the paper quotes via b.ReportMetric, alongside the generated table on
+// -v output through the acrbench command. The benchmarks run at class S so
+// the whole suite finishes in minutes; cmd/acrbench reproduces the same
+// tables at the paper scale (class W, the default).
+package acr_test
+
+import (
+	"strconv"
+	"testing"
+
+	"acr/internal/bench"
+	"acr/internal/stats"
+	"acr/internal/workloads"
+)
+
+func params() bench.Params {
+	return bench.Params{Threads: 8, Class: workloads.ClassS}
+}
+
+// sharedRunner memoises runs across benchmarks within one `go test -bench`
+// invocation, mirroring how figures 6-8 share the same executions.
+var sharedRunner = bench.NewRunner()
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.TableI()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig1ErrorRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Fig1(10)
+		if len(t.Rows) != 11 {
+			b.Fatal("wrong generation count")
+		}
+	}
+}
+
+// avgOf extracts the mean reduction from the last row of a figure table.
+func avgOf(b *testing.B, t *stats.Table, col int) float64 {
+	b.Helper()
+	last := t.Rows[len(t.Rows)-1]
+	v, err := strconv.ParseFloat(last[col], 64)
+	if err != nil {
+		b.Fatalf("cannot parse avg %q: %v", last[col], err)
+	}
+	return v
+}
+
+func BenchmarkFig6TimeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sharedRunner.Fig6(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, t, 5), "avg-time-ovh-reduction-%")
+	}
+}
+
+func BenchmarkFig7EnergyOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sharedRunner.Fig7(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, t, 5), "avg-energy-ovh-reduction-%")
+	}
+}
+
+func BenchmarkFig8EDPReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sharedRunner.Fig8(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, t, 1), "avg-EDP-reduction-NE-%")
+	}
+}
+
+func BenchmarkFig9CheckpointSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sharedRunner.Fig9(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, t, 1), "avg-size-reduction-%")
+	}
+}
+
+func BenchmarkTableIIThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sharedRunner.TableII(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 8 {
+			b.Fatal("missing benchmarks")
+		}
+	}
+}
+
+func BenchmarkFig10SizeOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sharedRunner.Fig10(params(), "bt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) < 10 {
+			b.Fatalf("too few intervals: %d", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkFig11ErrorRateSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedRunner.Fig11(params()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12CheckpointFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedRunner.Fig12(params()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13LocalCheckpointing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedRunner.Fig13(params()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedRunner.Scalability(params()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-benchmark single-run benchmarks: how fast the simulator itself is.
+func BenchmarkSimulator(b *testing.B) {
+	for _, name := range bench.BenchNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var instrs int64
+			for i := 0; i < b.N; i++ {
+				r := bench.NewRunner() // no memoisation: measure the run
+				res, err := r.Run(name, params(), bench.ReCkptNE)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs = res.Instrs
+			}
+			b.ReportMetric(float64(instrs), "sim-instrs")
+		})
+	}
+}

@@ -1,0 +1,94 @@
+// Command acrbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	acrbench [-exp all|tableI|fig1|fig6|fig7|fig8|fig9|tableII|fig10|fig11|fig12|fig13|scal]
+//	         [-threads N] [-class S|W|A]
+//
+// Each experiment prints the same rows/series the paper reports (absolute
+// numbers differ — the substrate is a simulator, not the authors' testbed —
+// but the shape is the reproduction target; see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acr/internal/bench"
+	"acr/internal/stats"
+	"acr/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma separated), 'all' (paper set), or 'ablations'")
+	threads := flag.Int("threads", 8, "thread/core count")
+	class := flag.String("class", "W", "problem class (S, W, A)")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	cl, err := workloads.ClassByName(*class)
+	if err != nil {
+		fatal(err)
+	}
+	p := bench.Params{Threads: *threads, Class: cl}
+	r := bench.NewRunner()
+
+	type gen func() (*stats.Table, error)
+	experiments := []struct {
+		name string
+		run  gen
+	}{
+		{"tableI", func() (*stats.Table, error) { return bench.TableI(), nil }},
+		{"fig1", func() (*stats.Table, error) { return bench.Fig1(10), nil }},
+		{"fig6", func() (*stats.Table, error) { return r.Fig6(p) }},
+		{"fig7", func() (*stats.Table, error) { return r.Fig7(p) }},
+		{"fig8", func() (*stats.Table, error) { return r.Fig8(p) }},
+		{"fig9", func() (*stats.Table, error) { return r.Fig9(p) }},
+		{"tableII", func() (*stats.Table, error) { return r.TableII(p) }},
+		{"fig10", func() (*stats.Table, error) { return r.Fig10(p, "bt") }},
+		{"fig11", func() (*stats.Table, error) { return r.Fig11(p) }},
+		{"fig12", func() (*stats.Table, error) { return r.Fig12(p) }},
+		{"fig13", func() (*stats.Table, error) { return r.Fig13(p) }},
+		{"scal", func() (*stats.Table, error) { return r.Scalability(p) }},
+		{"abl-policy", func() (*stats.Table, error) { return r.AblationPolicy(p) }},
+		{"abl-addrmap", func() (*stats.Table, error) { return r.AblationAddrMap(p) }},
+		{"abl-detect", func() (*stats.Table, error) { return r.AblationDetect(p) }},
+		{"abl-adaptive", func() (*stats.Table, error) { return r.AblationAdaptive(p) }},
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	matched := 0
+	for _, e := range experiments {
+		isAblation := strings.HasPrefix(e.name, "abl-")
+		switch {
+		case want[e.name]:
+		case want["all"] && !isAblation:
+		case want["ablations"] && isAblation:
+		default:
+			continue
+		}
+		matched++
+		t, err := e.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.name, err))
+		}
+		if *asCSV {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+	if matched == 0 {
+		fatal(fmt.Errorf("no experiment matches %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acrbench:", err)
+	os.Exit(1)
+}

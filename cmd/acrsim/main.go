@@ -1,0 +1,126 @@
+// Command acrsim runs one benchmark under one of the paper's
+// configurations and reports the run summary.
+//
+// Usage:
+//
+//	acrsim -bench is [-config ReCkpt_E] [-threads 8] [-class W]
+//	       [-ckpts 25] [-errors 1] [-threshold 0] [-v]
+//
+// The configuration names follow the paper (§IV): NoCkpt, Ckpt_NE, Ckpt_E,
+// ReCkpt_NE, ReCkpt_E and their ",Loc" coordinated-local variants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acr/internal/bench"
+	"acr/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "is", "benchmark: "+strings.Join(workloads.Names(), ", "))
+	config := flag.String("config", "ReCkpt_NE", "configuration (paper §IV), e.g. NoCkpt, Ckpt_NE, ReCkpt_E, ReCkpt_NE,Loc")
+	threads := flag.Int("threads", 8, "thread/core count")
+	class := flag.String("class", "W", "problem class (S, W, A)")
+	ckpts := flag.Int("ckpts", 0, "checkpoints per run (0 = paper default 25)")
+	errs := flag.Int("errors", 0, "override error count for _E configurations")
+	threshold := flag.Int("threshold", 0, "Slice-length threshold override (0 = benchmark default)")
+	verbose := flag.Bool("v", false, "print checkpoint interval details")
+	flag.Parse()
+
+	cl, err := workloads.ClassByName(*class)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := parseSpec(*config)
+	if err != nil {
+		fatal(err)
+	}
+	spec.NumCkpts = *ckpts
+	spec.Threshold = *threshold
+	if *errs > 0 {
+		spec.Errors = *errs
+	}
+
+	p := bench.Params{Threads: *threads, Class: cl}
+	r := bench.NewRunner()
+	base, err := r.Baseline(*benchName, p)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.Run(*benchName, p, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark    %s (class %s, %d threads)\n", *benchName, cl.Name, *threads)
+	fmt.Printf("config       %s\n", spec)
+	fmt.Printf("cycles       %d\n", res.Cycles)
+	fmt.Printf("instructions %d\n", res.Instrs)
+	fmt.Printf("energy       %.3f uJ (dynamic %.3f uJ)\n", res.EnergyPJ/1e6, res.DynamicPJ/1e6)
+	fmt.Printf("EDP          %.3e pJ*cyc\n", res.EDP())
+	if spec.Ckpt {
+		fmt.Printf("time ovh     %.2f%% vs NoCkpt\n",
+			100*(float64(res.Cycles)-float64(base.Cycles))/float64(base.Cycles))
+		fmt.Printf("energy ovh   %.2f%% vs NoCkpt\n",
+			100*(res.EnergyPJ-base.EnergyPJ)/base.EnergyPJ)
+		fmt.Printf("checkpoints  %d   recoveries %d\n", res.Ckpt.Checkpoints, res.Ckpt.Recoveries)
+		fmt.Printf("logged words %d   omitted words %d", res.Ckpt.LoggedWords, res.Ckpt.OmittedWords)
+		if total := res.Ckpt.LoggedWords + res.Ckpt.OmittedWords; total > 0 {
+			fmt.Printf(" (%.2f%% of checkpointable volume omitted)",
+				100*float64(res.Ckpt.OmittedWords)/float64(total))
+		}
+		fmt.Println()
+		if res.Ckpt.Recoveries > 0 {
+			fmt.Printf("restored     %d words, %d recomputed along Slices\n",
+				res.Ckpt.RestoredWords, res.Ckpt.RecomputedWords)
+		}
+	}
+	if spec.Amnesic {
+		am := res.AddrMap
+		fmt.Printf("AddrMap      %d inserts, %d too-long, %d hits/%d lookups, peak %d records / %d input words\n",
+			am.Inserts, am.SliceTooLong, am.Hits, am.Lookups, am.PeakOccupancy, am.PeakInputWords)
+	}
+	if *verbose && len(res.Intervals) > 0 {
+		fmt.Println("\ninterval  baseline-size  logged  omitted  reduction%")
+		for i, iv := range res.Intervals {
+			red := 0.0
+			if iv.Size() > 0 {
+				red = 100 * float64(iv.Omitted) / float64(iv.Size())
+			}
+			fmt.Printf("%8d  %13d  %6d  %7d  %10.2f\n", i+1, iv.Size(), iv.Logged, iv.Omitted, red)
+		}
+	}
+}
+
+func parseSpec(name string) (bench.Spec, error) {
+	switch strings.ToLower(strings.ReplaceAll(name, " ", "")) {
+	case "nockpt":
+		return bench.NoCkpt, nil
+	case "ckpt_ne", "ckptne":
+		return bench.CkptNE, nil
+	case "ckpt_e", "ckpte":
+		return bench.CkptE, nil
+	case "reckpt_ne", "reckptne":
+		return bench.ReCkptNE, nil
+	case "reckpt_e", "reckpte":
+		return bench.ReCkptE, nil
+	case "ckpt_ne,loc", "ckptneloc":
+		return bench.CkptNELoc, nil
+	case "ckpt_e,loc", "ckpteloc":
+		return bench.CkptELoc, nil
+	case "reckpt_ne,loc", "reckptneloc":
+		return bench.ReCkptNELoc, nil
+	case "reckpt_e,loc", "reckpteloc":
+		return bench.ReCkptELoc, nil
+	}
+	return bench.Spec{}, fmt.Errorf("unknown configuration %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acrsim:", err)
+	os.Exit(1)
+}

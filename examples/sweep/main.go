@@ -1,0 +1,58 @@
+// Sweep: the Slice-length threshold study of the paper's §V-D1 (Table II),
+// on one benchmark. Longer thresholds let the compiler embed more Slices,
+// so more values can be omitted from checkpoints — at the cost of more
+// recomputation work during recovery, which this example also measures.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"acr/internal/bench"
+	"acr/internal/workloads"
+)
+
+func main() {
+	name := "bt"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	if _, err := workloads.ByName(name); err != nil {
+		log.Fatal(err)
+	}
+	p := bench.Params{Threads: 4, Class: workloads.ClassS}
+	r := bench.NewRunner()
+
+	fmt.Printf("%s: checkpoint size reduction and recovery recomputation vs Slice threshold\n\n", name)
+	fmt.Println("threshold  size reduction%  time ovh%  recomputed values (1 error)")
+	base, err := r.Baseline(name, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, th := range []int{5, 10, 20, 30, 40, 50} {
+		ne := bench.ReCkptNE
+		ne.Threshold = th
+		resNE, err := r.Run(name, p, ne)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var logged, omitted int64
+		for _, iv := range resNE.Intervals {
+			logged += iv.Logged
+			omitted += iv.Omitted
+		}
+		reduction := 100 * float64(omitted) / float64(logged+omitted)
+		ovh := 100 * float64(resNE.Cycles-base.Cycles) / float64(base.Cycles)
+
+		e := bench.ReCkptE
+		e.Threshold = th
+		resE, err := r.Run(name, p, e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9d  %15.2f  %9.2f  %d\n", th, reduction, ovh, resE.Ckpt.RecomputedWords)
+	}
+	fmt.Println("\nthe paper's Table II shape: reduction grows with the threshold;")
+	fmt.Println("the recovery-side recomputation volume grows with it (§V-D1).")
+}

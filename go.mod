@@ -1,0 +1,3 @@
+module acr
+
+go 1.22

@@ -1,0 +1,371 @@
+// Package ckpt implements the baseline BER substrate: log-based incremental
+// in-memory checkpointing in the style of ReVive/Rebound (paper §II-A).
+// Upon the first update to a memory word within a checkpoint interval, the
+// word's old value is logged to an in-memory log; establishing a checkpoint
+// writes back all dirty cache lines, records each core's architectural
+// state, and starts a fresh log. The two most recent checkpoints are
+// retained because the error-detection latency is bounded by the checkpoint
+// period (§II-A, Fig. 2).
+//
+// When an ACR handler is attached, the manager becomes amnesic: old values
+// proven recomputable are omitted from the log and replaced by pinned
+// AddrMap records (paper §III).
+package ckpt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"acr/internal/core"
+	"acr/internal/cpu"
+	"acr/internal/energy"
+	"acr/internal/mem"
+)
+
+// Mode selects the coordination scheme (paper §II-A, §V-E).
+type Mode int
+
+// Coordination modes.
+const (
+	// Global: all cores cooperate on every checkpoint.
+	Global Mode = iota
+	// Local: only communicating cores (connected components of the
+	// interval's communication graph) coordinate.
+	Local
+)
+
+func (m Mode) String() string {
+	if m == Local {
+		return "local"
+	}
+	return "global"
+}
+
+// LogEntry is one record of the in-memory checkpoint log. A non-nil Rec
+// marks an amnesic entry: the old value was omitted and will be recomputed
+// along Rec's Slice during recovery.
+type LogEntry struct {
+	Addr   int64
+	Old    int64
+	Rec    *core.Record
+	Writer int8
+}
+
+// Snapshot is one established checkpoint: the architectural state of every
+// core plus the establishment time. Memory state is implicit (the log of
+// the following interval undoes subsequent updates).
+type Snapshot struct {
+	Seq  int64
+	Time int64
+	Arch []cpu.ArchState
+}
+
+// IntervalStat records the checkpointable volume of one interval.
+type IntervalStat struct {
+	// Logged is the number of words conventionally logged.
+	Logged int64
+	// Omitted is the number of words amnesically omitted. The baseline
+	// checkpoint size of the interval is Logged+Omitted.
+	Omitted int64
+}
+
+// Size returns the baseline (non-amnesic) checkpoint size in words.
+func (s IntervalStat) Size() int64 { return s.Logged + s.Omitted }
+
+// Stats aggregates manager activity over a run.
+type Stats struct {
+	Checkpoints  int64
+	Recoveries   int64
+	LoggedWords  int64
+	OmittedWords int64
+	// RestoredWords counts memory words written during roll-backs
+	// (conventional restores plus recomputed write-backs).
+	RestoredWords int64
+	// RecomputedWords counts the amnesic subset of RestoredWords.
+	RecomputedWords int64
+}
+
+// EstablishInfo reports what a checkpoint establishment did, per
+// coordination group, so the machine can charge time.
+type EstablishInfo struct {
+	// Groups lists the coordination groups; under Global there is one
+	// covering all cores.
+	Groups []GroupInfo
+}
+
+// GroupInfo is the per-group establishment cost basis.
+type GroupInfo struct {
+	Mask uint64
+	// Cores is the population of Mask.
+	Cores int
+	// FlushedWords is the dirty data written back for this group.
+	FlushedWords int
+	// ArchWords is the architectural state written for this group.
+	ArchWords int
+	// LogWords is the log traffic (address + old value per entry) written
+	// by the group's cores during the closing interval; it must drain
+	// through the memory controllers before the checkpoint is complete.
+	LogWords int
+}
+
+// RollbackInfo reports what a roll-back did so the machine can charge time.
+type RollbackInfo struct {
+	Target *Snapshot
+	// LogWordsRead counts words read from the in-memory log.
+	LogWordsRead int64
+	// WordsRestored counts memory writes performed.
+	WordsRestored int64
+	// RecomputeCycles is the recomputation occupancy per core.
+	RecomputeCycles []int64
+	// RecomputedValues counts amnesic values regenerated.
+	RecomputedValues int64
+}
+
+// InlineLogStallCycles is the store-side stall of enqueuing one log entry:
+// one store-buffer slot. The log itself drains to memory asynchronously
+// (Rebound-style); its bandwidth cost is charged when the checkpoint is
+// established, via GroupInfo.LogWords. OmitStallCycles is the amnesic path:
+// the AddrMap check is folded into the ASSOC-ADDR protocol, so the store
+// does not stall at all.
+const (
+	InlineLogStallCycles = 1
+	OmitStallCycles      = 0
+)
+
+// Manager owns logs, snapshots and the omission decision. It implements
+// the bookkeeping half of checkpointing; the sim machine drives
+// coordination timing.
+type Manager struct {
+	mode  Mode
+	sys   *mem.System
+	meter *energy.Meter
+	acr   *core.Handler // nil: plain (non-amnesic) checkpointing
+
+	prev, cur *Snapshot
+	curLog    []LogEntry
+	prevLog   []LogEntry
+
+	intervals []IntervalStat
+	curStat   IntervalStat
+	// logWordsByCore attributes the closing interval's log traffic to its
+	// writing cores, for per-group establishment costing under Local.
+	logWordsByCore [64]int64
+	stats          Stats
+	nextSeq        int64
+}
+
+// NewManager creates a manager and establishes the implicit initial
+// checkpoint (sequence 0 at time 0) from the given architectural states.
+func NewManager(mode Mode, sys *mem.System, meter *energy.Meter, acr *core.Handler, arch []cpu.ArchState) *Manager {
+	m := &Manager{mode: mode, sys: sys, meter: meter, acr: acr}
+	m.cur = &Snapshot{Seq: 0, Time: 0, Arch: append([]cpu.ArchState(nil), arch...)}
+	m.nextSeq = 1
+	return m
+}
+
+// Mode returns the coordination mode.
+func (m *Manager) Mode() Mode { return m.mode }
+
+// Amnesic reports whether an ACR handler is attached.
+func (m *Manager) Amnesic() bool { return m.acr != nil }
+
+// ACR returns the attached handler (nil when not amnesic).
+func (m *Manager) ACR() *core.Handler { return m.acr }
+
+// Stats returns accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats clears the accumulated statistics and interval history. The
+// machine calls it when the region of interest begins, so reported volumes
+// cover the ROI only (the paper measures the ROI, §IV); logs, snapshots and
+// the AddrMap are untouched.
+func (m *Manager) ResetStats() {
+	m.stats = Stats{}
+	m.intervals = nil
+	m.curStat = IntervalStat{}
+}
+
+// Intervals returns per-interval checkpoint volume statistics, in
+// establishment order (the current, unfinished interval is not included).
+func (m *Manager) Intervals() []IntervalStat { return m.intervals }
+
+// OpenInterval returns the running statistics of the current, not yet
+// established interval (consumed by adaptive checkpoint placement).
+func (m *Manager) OpenInterval() IntervalStat { return m.curStat }
+
+// Current returns the most recent established checkpoint.
+func (m *Manager) Current() *Snapshot { return m.cur }
+
+// OnFirstStore handles the first update to addr within the current
+// interval: the old value is either logged (charging the inline log write)
+// or amnesically omitted. It returns the store-side stall in cycles.
+func (m *Manager) OnFirstStore(coreID int, addr, old int64) int64 {
+	if m.acr != nil {
+		if rec := m.acr.Omittable(addr, old); rec != nil {
+			rec.Pin()
+			m.curLog = append(m.curLog, LogEntry{Addr: addr, Rec: rec, Writer: int8(coreID)})
+			m.curStat.Omitted++
+			m.stats.OmittedWords++
+			return OmitStallCycles
+		}
+	}
+	m.curLog = append(m.curLog, LogEntry{Addr: addr, Old: old, Writer: int8(coreID)})
+	m.curStat.Logged++
+	m.stats.LoggedWords++
+	m.logWordsByCore[coreID] += 2
+	// Log entry: address + old value written to the in-memory log.
+	m.meter.Add(energy.DRAMWrite, 2)
+	return InlineLogStallCycles
+}
+
+// Establish creates a checkpoint at the given time from the cores'
+// architectural states. Under Local mode, groups are the current
+// communication components; under Global there is a single group.
+func (m *Manager) Establish(time int64, arch []cpu.ArchState) EstablishInfo {
+	var info EstablishInfo
+	archWordsPer := 0
+	if len(arch) > 0 {
+		archWordsPer = arch[0].Words()
+	}
+	lineWords := m.sys.Config().LineWords
+
+	logWords := func(mask uint64) int {
+		t := int64(0)
+		for c := 0; c < 64; c++ {
+			if mask&(1<<uint(c)) != 0 {
+				t += m.logWordsByCore[c]
+			}
+		}
+		return int(t)
+	}
+	if m.mode == Global {
+		mask := m.sys.AllCoresMask()
+		flushed := m.sys.FlushDirty(mask)
+		info.Groups = []GroupInfo{{
+			Mask: mask, Cores: len(arch),
+			FlushedWords: flushed * lineWords,
+			ArchWords:    archWordsPer * len(arch),
+			LogWords:     logWords(mask),
+		}}
+		m.sys.NewInterval(mask, true)
+	} else {
+		groups := m.sys.CommGroups()
+		for _, g := range groups {
+			flushed := m.sys.FlushDirty(g)
+			n := bits.OnesCount64(g)
+			info.Groups = append(info.Groups, GroupInfo{
+				Mask: g, Cores: n,
+				FlushedWords: flushed * lineWords,
+				ArchWords:    archWordsPer * n,
+				LogWords:     logWords(g),
+			})
+		}
+		for _, g := range groups {
+			m.sys.NewInterval(g, false)
+		}
+	}
+	m.logWordsByCore = [64]int64{}
+
+	// Architectural state goes to the in-memory checkpoint area.
+	m.meter.Add(energy.RegCkpt, uint64(archWordsPer*len(arch)))
+	m.meter.Add(energy.DRAMWrite, uint64(archWordsPer*len(arch)))
+
+	// Retire the older log: its pinned records are released.
+	m.releaseLog(m.prevLog)
+	m.prevLog = m.curLog
+	m.curLog = nil
+	m.intervals = append(m.intervals, m.curStat)
+	m.curStat = IntervalStat{}
+
+	m.prev = m.cur
+	m.cur = &Snapshot{Seq: m.nextSeq, Time: time, Arch: append([]cpu.ArchState(nil), arch...)}
+	m.nextSeq++
+	m.stats.Checkpoints++
+	if m.acr != nil {
+		m.acr.OnCheckpoint()
+	}
+	return info
+}
+
+func (m *Manager) releaseLog(log []LogEntry) {
+	if m.acr == nil {
+		return
+	}
+	am := m.acr.AddrMap()
+	for i := range log {
+		if log[i].Rec != nil {
+			am.Release(log[i].Rec)
+		}
+	}
+}
+
+// SafeTarget returns the most recent checkpoint established strictly before
+// the error occurrence time — the roll-back target per Fig. 2 (a checkpoint
+// established after the error occurred may hold corrupted state).
+func (m *Manager) SafeTarget(errTime int64) (*Snapshot, error) {
+	if m.cur.Time < errTime {
+		return m.cur, nil
+	}
+	if m.prev != nil && m.prev.Time < errTime {
+		return m.prev, nil
+	}
+	return nil, fmt.Errorf("ckpt: no safe checkpoint for error at %d (cur %d)", errTime, m.cur.Time)
+}
+
+// Rollback restores memory to the state captured by target, recomputing
+// amnesically omitted values along their Slices (Fig. 4b). It resets the
+// manager to a single retained checkpoint (target, with an empty log), the
+// memory interval state, and the AddrMap. The caller restores core
+// architectural state from target.Arch and charges the stall reported in
+// RollbackInfo.
+func (m *Manager) Rollback(target *Snapshot, nCores int) (RollbackInfo, error) {
+	info := RollbackInfo{Target: target, RecomputeCycles: make([]int64, nCores)}
+	if target != m.cur && target != m.prev {
+		return info, fmt.Errorf("ckpt: rollback target seq %d is not retained", target.Seq)
+	}
+	// Undo the current interval first, then — when rolling back to the
+	// second most recent checkpoint — the previous one. A word logged in
+	// both intervals ends at the older interval's old value because the
+	// older log is applied last.
+	m.applyLog(m.curLog, &info)
+	if target == m.prev {
+		m.applyLog(m.prevLog, &info)
+	}
+	m.releaseLog(m.curLog)
+	m.releaseLog(m.prevLog)
+	m.curLog = nil
+	m.prevLog = nil
+	m.curStat = IntervalStat{}
+
+	m.cur = target
+	m.prev = nil
+	m.sys.NewInterval(m.sys.AllCoresMask(), true)
+	if m.acr != nil {
+		m.acr.OnRecovery()
+	}
+	m.stats.Recoveries++
+	m.stats.RestoredWords += info.WordsRestored
+	m.stats.RecomputedWords += info.RecomputedValues
+	return info, nil
+}
+
+func (m *Manager) applyLog(log []LogEntry, info *RollbackInfo) {
+	for i := range log {
+		e := &log[i]
+		var val int64
+		if e.Rec != nil {
+			v, cycles := m.acr.Recompute(e.Rec)
+			val = v
+			info.RecomputeCycles[e.Rec.Core] += cycles
+			info.RecomputedValues++
+		} else {
+			// Read the entry (address + old value) from the log.
+			m.meter.Add(energy.DRAMRead, 2)
+			info.LogWordsRead += 2
+			val = e.Old
+		}
+		m.sys.WriteWord(e.Addr, val)
+		m.meter.Add(energy.DRAMWrite, 1)
+		info.WordsRestored++
+	}
+}

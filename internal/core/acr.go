@@ -1,0 +1,181 @@
+// Package core implements ACR — Amnesic Checkpointing and Recovery, the
+// paper's contribution (§III). It provides the AddrMap bookkeeping buffer,
+// the ACR checkpoint handler (deciding which values to omit from
+// checkpoints) and the ACR recovery handler (recomputing omitted values
+// along their Slices and writing them back to establish a consistent
+// recovery line).
+package core
+
+import (
+	"acr/internal/slice"
+)
+
+// Record is one AddrMap entry: the association between a memory address and
+// the Slice (plus buffered input operands) able to recompute the value the
+// address held (paper §III-A: "<memory address, Slice address>" plus the
+// input-operand buffer of §II-B).
+type Record struct {
+	Addr  int64
+	Slice *slice.Compiled
+	// Core is the core whose store created the association; recomputation
+	// during recovery runs on this core (Slices are thread-local).
+	Core int
+	// gen is the checkpoint generation in which the record was created.
+	gen int64
+	// pins counts live checkpoint-log references: a pinned record must
+	// remain available until its log dies (paper §III-A: mappings must
+	// remain in AddrMap as long as the corresponding checkpoint does).
+	pins int
+	// mapped reports whether the record is still the current mapping for
+	// its address (it may have been superseded while pinned).
+	mapped bool
+}
+
+// Pin marks the record as referenced by a live checkpoint log.
+func (r *Record) Pin() { r.pins++ }
+
+// AddrMapStats aggregates AddrMap behaviour over a run.
+type AddrMapStats struct {
+	Inserts          uint64 // successful associations
+	Rejected         uint64 // associations dropped: map full
+	SliceTooLong     uint64 // associations dropped: Slice exceeds the length cap
+	CostRejected     uint64 // associations dropped by the cost policy
+	Superseded       uint64 // records replaced by a newer store's record
+	Lookups          uint64
+	Hits             uint64 // lookups whose record recomputes the old value
+	StaleMisses      uint64 // record present but value mismatch (stale)
+	Aged             uint64 // records dropped by generation aging
+	PeakOccupancy    int
+	PeakInputWords   int
+	OmittedValues    uint64 // values excluded from checkpoints
+	RecomputedValues uint64 // values regenerated during recovery
+}
+
+// AddrMap is the bounded on-chip buffer associating memory addresses with
+// Slices. One AddrMap serves one core: Slices are confined to thread-local
+// data (paper §III-A).
+type AddrMap struct {
+	byAddr map[int64]*Record
+	// retained holds records that are pinned by live logs but no longer
+	// mapped (superseded or aged); they still occupy capacity.
+	retained   map[*Record]struct{}
+	capacity   int
+	gen        int64
+	stats      AddrMapStats
+	inputWords int
+}
+
+// NewAddrMap returns an AddrMap with room for capacity records.
+func NewAddrMap(capacity int) *AddrMap {
+	return &AddrMap{
+		byAddr:   make(map[int64]*Record, capacity),
+		retained: make(map[*Record]struct{}),
+		capacity: capacity,
+	}
+}
+
+// Occupancy returns the number of records currently holding capacity
+// (mapped plus pinned-retained).
+func (m *AddrMap) Occupancy() int { return len(m.byAddr) + len(m.retained) }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *AddrMap) Stats() AddrMapStats { return m.stats }
+
+// Assoc inserts or replaces the record for addr. It reports whether the
+// association was accepted (the map may be full).
+func (m *AddrMap) Assoc(core int, addr int64, sl *slice.Compiled) bool {
+	old, exists := m.byAddr[addr]
+	if !exists && m.Occupancy() >= m.capacity {
+		m.stats.Rejected++
+		return false
+	}
+	if exists {
+		m.stats.Superseded++
+		m.unmap(old)
+	}
+	rec := &Record{Addr: addr, Slice: sl, Core: core, gen: m.gen, mapped: true}
+	m.byAddr[addr] = rec
+	m.stats.Inserts++
+	m.inputWords += sl.NumInputs()
+	if occ := m.Occupancy(); occ > m.stats.PeakOccupancy {
+		m.stats.PeakOccupancy = occ
+	}
+	if m.inputWords > m.stats.PeakInputWords {
+		m.stats.PeakInputWords = m.inputWords
+	}
+	return true
+}
+
+// unmap removes rec from the address mapping, retaining it while pinned.
+func (m *AddrMap) unmap(rec *Record) {
+	delete(m.byAddr, rec.Addr)
+	rec.mapped = false
+	m.inputWords -= rec.Slice.NumInputs()
+	if rec.pins > 0 {
+		m.retained[rec] = struct{}{}
+	}
+}
+
+// Lookup returns the record able to recompute old — the value addr held at
+// the last checkpoint — or nil. Validity is checked by evaluating the
+// Slice: a record is usable exactly when its recomputation reproduces the
+// value being omitted, which is the correctness criterion for amnesic
+// omission (§III-C: "whether the current value v ... is recomputable").
+func (m *AddrMap) Lookup(addr, old int64, scratch []int64) *Record {
+	m.stats.Lookups++
+	rec, ok := m.byAddr[addr]
+	if !ok {
+		return nil
+	}
+	if rec.Slice.Eval(scratch) != old {
+		// Stale: a later, unassociated store overwrote the value the
+		// Slice regenerates. Drop the mapping.
+		m.stats.StaleMisses++
+		m.unmap(rec)
+		return nil
+	}
+	m.stats.Hits++
+	return rec
+}
+
+// Release drops one pin from rec (its referencing log was discarded) and
+// frees its capacity if the record is no longer mapped.
+func (m *AddrMap) Release(rec *Record) {
+	if rec.pins <= 0 {
+		panic("core: Release of unpinned record")
+	}
+	rec.pins--
+	if rec.pins == 0 && !rec.mapped {
+		delete(m.retained, rec)
+	}
+}
+
+// NewGeneration advances the checkpoint generation and ages out records
+// older than the two most recent generations (paper §III-A: AddrMap records
+// mappings for the two most recent checkpoints). Pinned records survive
+// into the retained set.
+func (m *AddrMap) NewGeneration() {
+	m.gen++
+	for addr, rec := range m.byAddr {
+		if rec.gen < m.gen-1 {
+			m.stats.Aged++
+			_ = addr
+			m.unmap(rec)
+		}
+	}
+}
+
+// Reset clears the map entirely (after a recovery: the hardware AddrMap is
+// rebuilt as execution re-runs).
+func (m *AddrMap) Reset() {
+	clear(m.byAddr)
+	clear(m.retained)
+	m.inputWords = 0
+}
+
+// CountOmitted and CountRecomputed update the omission statistics; they are
+// invoked by the handlers so that the stats live with the AddrMap.
+func (m *AddrMap) CountOmitted() { m.stats.OmittedValues++ }
+
+// CountRecomputed records one value regenerated during recovery.
+func (m *AddrMap) CountRecomputed() { m.stats.RecomputedValues++ }

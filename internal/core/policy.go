@@ -1,0 +1,84 @@
+package core
+
+import (
+	"acr/internal/energy"
+	"acr/internal/slice"
+)
+
+// Policy selects how the compiler decides which Slices to embed
+// (paper §III-A). The paper's evaluation uses the greedy length threshold;
+// it sketches a probabilistic cost-based alternative ("estimating the
+// anticipated cost of recomputation along each Slice when compared to
+// loading the respective data value from a checkpoint in memory"), which is
+// implemented here as an extension and compared by the ablation benches.
+type Policy int
+
+// Slice selection policies.
+const (
+	// PolicyThreshold embeds Slices not longer than Config.Threshold
+	// instructions (the paper's default, §III-A).
+	PolicyThreshold Policy = iota
+	// PolicyCost embeds a Slice when its estimated recomputation cost —
+	// ALU energy for its instructions plus buffer energy for its inputs,
+	// weighted by CostLambda times its latency contribution — stays
+	// below the cost of the avoided memory traffic (the log write plus
+	// the eventual checkpoint read-back).
+	PolicyCost
+)
+
+func (p Policy) String() string {
+	if p == PolicyCost {
+		return "cost"
+	}
+	return "threshold"
+}
+
+// CostModel weighs recomputation against memory traffic for PolicyCost.
+type CostModel struct {
+	// Energy is the event-energy table the estimate charges against.
+	Energy *energy.Model
+	// Lambda trades delay into the energy-denominated objective:
+	// estimated cost = energy(pJ) + Lambda * latency(cycles). Lambda 0
+	// selects a pure energy objective ("cost can be delay, energy or a
+	// combination of both", §III-A).
+	Lambda float64
+	// MaxLen caps the Slice length regardless of cost, bounding the
+	// hardware buffers (the AddrMap must still fit the embedded Slices).
+	MaxLen int
+}
+
+// DefaultCostModel returns a cost model with the evaluation's energy table,
+// a mild delay weight, and a hardware cap of 64 instructions.
+func DefaultCostModel() CostModel {
+	return CostModel{Energy: energy.Default22nm(), Lambda: 4, MaxLen: 64}
+}
+
+// RecomputeCost estimates the time-weighted energy of recomputing along sl.
+func (cm CostModel) RecomputeCost(sl *slice.Compiled) float64 {
+	e := float64(sl.IntOps())*cm.Energy.PerEvent[energy.IntOp] +
+		float64(sl.FloatOps())*cm.Energy.PerEvent[energy.FloatOp] +
+		float64(sl.NumInputs())*cm.Energy.PerEvent[energy.SliceBufOp] +
+		cm.Energy.PerEvent[energy.AddrMapOp]
+	lat := float64(sl.Len() + sl.NumInputs() + 1)
+	return e + cm.Lambda*lat
+}
+
+// MemoryCost estimates the time-weighted energy of NOT omitting the value:
+// the two-word log write at checkpoint time plus the two-word log read and
+// one-word restore if recovery ever replays it, discounted by the recovery
+// probability (recoveries are far rarer than checkpoints, §III).
+func (cm CostModel) MemoryCost() float64 {
+	const recoveryProb = 0.1
+	write := 2 * cm.Energy.PerEvent[energy.DRAMWrite]
+	replay := recoveryProb * (2*cm.Energy.PerEvent[energy.DRAMRead] + cm.Energy.PerEvent[energy.DRAMWrite])
+	// A log write occupies a controller for ~2.3 cycles.
+	return write + replay + cm.Lambda*2.3
+}
+
+// Embeddable applies the policy to a compiled Slice.
+func (cm CostModel) Embeddable(sl *slice.Compiled) bool {
+	if sl.Len() > cm.MaxLen {
+		return false
+	}
+	return cm.RecomputeCost(sl) <= cm.MemoryCost()
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"acr/internal/energy"
+	"acr/internal/isa"
+	"acr/internal/slice"
+)
+
+func chainSlice(n int) *slice.Compiled {
+	c := &slice.Compiled{Inputs: []int64{1}}
+	for i := 0; i < n; i++ {
+		prev := int32(i) // slot 0 is the input; op i reads slot i
+		c.Ops = append(c.Ops, slice.COp{Op: isa.ADDI, A: prev, B: -1, C: -1, Imm: 1})
+	}
+	return c
+}
+
+func TestPolicyNames(t *testing.T) {
+	if PolicyThreshold.String() != "threshold" || PolicyCost.String() != "cost" {
+		t.Errorf("policy names: %v, %v", PolicyThreshold, PolicyCost)
+	}
+}
+
+func TestCostModelShortSliceWins(t *testing.T) {
+	cm := DefaultCostModel()
+	if !cm.Embeddable(chainSlice(3)) {
+		t.Error("3-op slice must beat two DRAM writes")
+	}
+	// The cost policy accepts far longer Slices than the threshold —
+	// that is the point of the paper's observation that computation is
+	// orders of magnitude cheaper than memory traffic.
+	if !cm.Embeddable(chainSlice(40)) {
+		t.Error("40-op slice should still beat memory under the energy model")
+	}
+}
+
+func TestCostModelHardwareCap(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.Embeddable(chainSlice(cm.MaxLen + 1)) {
+		t.Error("hardware cap must bound the policy")
+	}
+}
+
+func TestCostModelLambdaTradesDelay(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.Lambda = 1e6 // delay-dominated objective
+	if cm.Embeddable(chainSlice(30)) {
+		t.Error("with a huge delay weight, long recomputation must lose")
+	}
+	cm.Lambda = 0 // pure energy objective
+	if !cm.Embeddable(chainSlice(30)) {
+		t.Error("with a pure energy objective, the slice must win")
+	}
+}
+
+func TestCostModelMonotoneInLength(t *testing.T) {
+	cm := DefaultCostModel()
+	prev := 0.0
+	for n := 1; n <= 32; n++ {
+		c := cm.RecomputeCost(chainSlice(n))
+		if c <= prev {
+			t.Fatalf("cost not increasing at %d ops", n)
+		}
+		prev = c
+	}
+}
+
+func TestHandlerCostPolicyAcceptsBeyondThreshold(t *testing.T) {
+	tr := slice.NewTracker(1)
+	meter := energy.NewMeter(nil)
+	h := NewHandler(Config{Threshold: 10, MapCapacity: 64, Policy: PolicyCost}, tr, meter)
+
+	// A 25-op chain: rejected by the paper's threshold 10, accepted by
+	// the cost policy.
+	tr.OnLoad(0, 1, 5)
+	for i := 0; i < 25; i++ {
+		tr.OnALU(0, isa.Instr{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1})
+	}
+	h.OnAssoc(0, 7, tr.Recipe(0, 1))
+	if h.AddrMap().Stats().Inserts != 1 {
+		t.Fatalf("cost policy rejected a profitable slice: %+v", h.AddrMap().Stats())
+	}
+	if rec := h.Omittable(7, 30); rec == nil {
+		t.Fatal("value should be omittable under the cost policy")
+	} else if v, _ := h.Recompute(rec); v != 30 {
+		t.Fatalf("recomputed %d, want 30", v)
+	}
+}
+
+func TestHandlerCostPolicyDefaultsModel(t *testing.T) {
+	tr := slice.NewTracker(1)
+	h := NewHandler(Config{Threshold: 10, MapCapacity: 8, Policy: PolicyCost}, tr, energy.NewMeter(nil))
+	if h.cfg.Cost.Energy == nil {
+		t.Fatal("cost model not defaulted")
+	}
+}

@@ -1,0 +1,101 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"acr/internal/energy"
+	"acr/internal/isa"
+	"acr/internal/mem"
+	"acr/internal/prog"
+)
+
+// TestEveryALUOpMatchesEvalALU executes each ALU op through the full core
+// pipeline and cross-checks the architectural result against isa.EvalALU —
+// the function the recomputation engine uses. Any divergence would break
+// the recompute-equals-stored guarantee.
+func TestEveryALUOpMatchesEvalALU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	aluOps := []isa.Op{
+		isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.ADDI, isa.MULI, isa.ANDI,
+		isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.LUI, isa.LI, isa.MOV,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FNEG, isa.FABS,
+		isa.FSQRT, isa.FMA, isa.CVTF, isa.CVTI, isa.FLT,
+	}
+	meter := energy.NewMeter(nil)
+	m := mem.NewSystem(mem.DefaultConfig(), 1, 64, meter)
+	for _, op := range aluOps {
+		for trial := 0; trial < 20; trial++ {
+			a, bv, cv := rng.Int63(), rng.Int63(), rng.Int63()
+			imm := rng.Int63n(1 << 20)
+			c := New(0, 0, 1)
+			c.Regs[1], c.Regs[2], c.Regs[3] = a, bv, cv
+			p := &prog.Program{Name: "op", Code: []isa.Instr{
+				{Op: op, Rd: 3, Rs: 1, Rt: 2, Imm: imm},
+				{Op: isa.HALT},
+			}}
+			c.Step(p, m, nil, nil, meter)
+			want := isa.EvalALU(op, a, bv, cv, imm)
+			if c.Regs[3] != want {
+				t.Fatalf("%v(%d,%d,%d,imm=%d): core %d, EvalALU %d",
+					op, a, bv, cv, imm, c.Regs[3], want)
+			}
+		}
+	}
+}
+
+func TestUntakenBranchFallsThrough(t *testing.T) {
+	meter := energy.NewMeter(nil)
+	m := mem.NewSystem(mem.DefaultConfig(), 1, 64, meter)
+	p := &prog.Program{Name: "b", Code: []isa.Instr{
+		{Op: isa.BNE, Rs: 0, Rt: 0, Imm: 0}, // never taken (r0 == r0)
+		{Op: isa.HALT},
+	}}
+	c := New(0, 0, 1)
+	c.Step(p, m, nil, nil, meter)
+	if c.PC != 1 {
+		t.Fatalf("untaken branch PC = %d, want 1", c.PC)
+	}
+}
+
+func TestAssocDisabledIsFree(t *testing.T) {
+	b := prog.New("free")
+	base := b.Data(8)
+	b.Li(1, base)
+	b.Li(2, 5)
+	b.StAssoc(2, 1, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	run := func(enabled bool) (int64, int64) {
+		meter := energy.NewMeter(nil)
+		m := mem.NewSystem(mem.DefaultConfig(), 1, 8, meter)
+		c := New(0, 0, 1)
+		c.AssocEnabled = enabled
+		for c.State == Running {
+			c.Step(p, m, nil, nil, meter)
+		}
+		return c.Instrs, c.Cycles()
+	}
+	instrOn, _ := run(true)
+	instrOff, _ := run(false)
+	if instrOn != instrOff+1 {
+		t.Errorf("ASSOC-ADDR retirement: enabled %d instrs, disabled %d (want +1)",
+			instrOn, instrOff)
+	}
+}
+
+func TestStepPanicsOnHaltedCore(t *testing.T) {
+	meter := energy.NewMeter(nil)
+	m := mem.NewSystem(mem.DefaultConfig(), 1, 8, meter)
+	p := &prog.Program{Name: "h", Code: []isa.Instr{{Op: isa.HALT}}}
+	c := New(0, 0, 1)
+	c.Step(p, m, nil, nil, meter)
+	defer func() {
+		if recover() == nil {
+			t.Error("Step on halted core must panic")
+		}
+	}()
+	c.Step(p, m, nil, nil, meter)
+}

@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelRatios(t *testing.T) {
+	m := Default22nm()
+	// The paper's premise: recomputing (ALU ops) is far cheaper than a
+	// memory access. Guard the ratios the results depend on.
+	if m.PerEvent[DRAMRead] < 50*m.PerEvent[IntOp] {
+		t.Errorf("DRAM read (%v pJ) must dwarf an int op (%v pJ)",
+			m.PerEvent[DRAMRead], m.PerEvent[IntOp])
+	}
+	if m.PerEvent[DRAMWrite] < 20*m.PerEvent[FloatOp] {
+		t.Errorf("DRAM write (%v pJ) must dwarf a float op (%v pJ)",
+			m.PerEvent[DRAMWrite], m.PerEvent[FloatOp])
+	}
+	if m.PerEvent[L1DAccess] >= m.PerEvent[L2Access] {
+		t.Error("L1 access must be cheaper than L2")
+	}
+	if m.PerEvent[L2Access] >= m.PerEvent[DRAMRead] {
+		t.Error("L2 access must be cheaper than DRAM")
+	}
+	for e := Event(0); e < numEvents; e++ {
+		if m.PerEvent[e] <= 0 {
+			t.Errorf("event %v has non-positive energy", e)
+		}
+		if e.String() == "" {
+			t.Errorf("event %d unnamed", e)
+		}
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter(Default22nm())
+	m.Add(IntOp, 10)
+	m.Add(DRAMRead, 2)
+	want := 10*4.0 + 2*650.0
+	if got := m.TotalPJ(); got != want {
+		t.Errorf("TotalPJ = %v, want %v", got, want)
+	}
+	if m.Count(IntOp) != 10 {
+		t.Errorf("Count(IntOp) = %d", m.Count(IntOp))
+	}
+	m.AddLeakage(100)
+	want += 100 * 45
+	if got := m.TotalPJ(); got != want {
+		t.Errorf("TotalPJ with leakage = %v, want %v", got, want)
+	}
+	if got := m.DynamicPJ(); got != 10*4.0+2*650.0 {
+		t.Errorf("DynamicPJ = %v", got)
+	}
+	m.Reset()
+	if m.TotalPJ() != 0 {
+		t.Error("Reset did not clear meter")
+	}
+}
+
+func TestMeterNilModelDefaults(t *testing.T) {
+	m := NewMeter(nil)
+	m.Add(IntOp, 1)
+	if m.TotalPJ() != 4 {
+		t.Errorf("nil model did not default: %v", m.TotalPJ())
+	}
+}
+
+func TestMeterLinear(t *testing.T) {
+	// Property: energy is linear in event counts.
+	f := func(a, b uint8) bool {
+		m1 := NewMeter(nil)
+		m1.Add(L2Access, uint64(a))
+		m1.Add(L2Access, uint64(b))
+		m2 := NewMeter(nil)
+		m2.Add(L2Access, uint64(a)+uint64(b))
+		return m1.TotalPJ() == m2.TotalPJ()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotDiffAttributesPhases(t *testing.T) {
+	m := NewMeter(nil)
+	m.Add(IntOp, 5)
+	s := m.Snapshot()
+	m.Add(DRAMWrite, 3)
+	if got := m.Snapshot() - s; got != 3*650.0 {
+		t.Errorf("phase energy = %v, want %v", got, 3*650.0)
+	}
+}

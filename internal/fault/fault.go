@@ -1,0 +1,94 @@
+// Package fault models the paper's fail-stop error model (§II-A): errors
+// corrupt core state but never data memory or checkpoint logs (assumed
+// ECC-protected); detection lags occurrence by a bounded error-detection
+// latency that never exceeds the checkpoint period, so retaining the two
+// most recent checkpoints always suffices for recovery (Fig. 2).
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule is a deterministic error schedule over a run. Errors are
+// uniformly distributed over the (estimated) region-of-interest execution
+// time, as in the paper's evaluation (§V-D2).
+type Schedule struct {
+	// Times are the error occurrence times in cycles, ascending.
+	Times []int64
+	// DetectLatency is the error-detection latency in cycles.
+	DetectLatency int64
+
+	next int
+}
+
+// Uniform returns a schedule of n errors uniformly distributed over
+// [0, horizon): error i occurs at (i+1)*horizon/(n+1).
+func Uniform(n int, horizon, detectLatency int64) *Schedule {
+	return UniformIn(n, 0, horizon, detectLatency)
+}
+
+// UniformIn returns a schedule of n errors uniformly distributed over
+// [start, end) — used to confine errors to the region of interest.
+func UniformIn(n int, start, end, detectLatency int64) *Schedule {
+	s := &Schedule{DetectLatency: detectLatency}
+	for i := 1; i <= n; i++ {
+		s.Times = append(s.Times, start+int64(i)*(end-start)/int64(n+1))
+	}
+	return s
+}
+
+// Pending returns the occurrence and detection time of the next unconsumed
+// error, if any.
+func (s *Schedule) Pending() (occur, detect int64, ok bool) {
+	if s == nil || s.next >= len(s.Times) {
+		return 0, 0, false
+	}
+	t := s.Times[s.next]
+	return t, t + s.DetectLatency, true
+}
+
+// Consume marks the next error handled.
+func (s *Schedule) Consume() {
+	if s.next >= len(s.Times) {
+		panic("fault: Consume with no pending error")
+	}
+	s.next++
+}
+
+// Remaining returns the number of unconsumed errors.
+func (s *Schedule) Remaining() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Times) - s.next
+}
+
+// Validate checks the invariant the recovery scheme relies on: the
+// detection latency must not exceed the checkpoint period (§II-A).
+func (s *Schedule) Validate(periodCycles int64) error {
+	if s == nil {
+		return nil
+	}
+	if s.DetectLatency > periodCycles {
+		return fmt.Errorf("fault: detection latency %d exceeds checkpoint period %d; two retained checkpoints would not suffice",
+			s.DetectLatency, periodCycles)
+	}
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i] < s.Times[i-1] {
+			return fmt.Errorf("fault: error times not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// RelativeErrorRate reproduces Fig. 1: the relative component error rate
+// across technology generations, assuming 8% degradation per bit per
+// generation with the per-component bit count doubling each generation
+// (Borkar [10]): rate(g) = (1.08 * 2)^g relative to generation 0.
+func RelativeErrorRate(generation int) float64 {
+	if generation < 0 {
+		panic("fault: negative generation")
+	}
+	return math.Pow(1.08*2, float64(generation))
+}

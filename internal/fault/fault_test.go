@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformSpacing(t *testing.T) {
+	s := Uniform(3, 4000, 10)
+	want := []int64{1000, 2000, 3000}
+	if len(s.Times) != 3 {
+		t.Fatalf("times = %v", s.Times)
+	}
+	for i, w := range want {
+		if s.Times[i] != w {
+			t.Errorf("Times[%d] = %d, want %d", i, s.Times[i], w)
+		}
+	}
+}
+
+func TestPendingConsume(t *testing.T) {
+	s := Uniform(2, 300, 7)
+	occur, detect, ok := s.Pending()
+	if !ok || occur != 100 || detect != 107 {
+		t.Fatalf("Pending = %d,%d,%v", occur, detect, ok)
+	}
+	s.Consume()
+	occur, _, ok = s.Pending()
+	if !ok || occur != 200 {
+		t.Fatalf("second Pending = %d,%v", occur, ok)
+	}
+	if s.Remaining() != 1 {
+		t.Errorf("Remaining = %d", s.Remaining())
+	}
+	s.Consume()
+	if _, _, ok := s.Pending(); ok {
+		t.Error("Pending after exhausting schedule")
+	}
+}
+
+func TestConsumeEmptyPanics(t *testing.T) {
+	s := Uniform(0, 100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Consume()
+}
+
+func TestNilScheduleSafe(t *testing.T) {
+	var s *Schedule
+	if _, _, ok := s.Pending(); ok {
+		t.Error("nil schedule pending")
+	}
+	if s.Remaining() != 0 {
+		t.Error("nil schedule remaining")
+	}
+	if err := s.Validate(100); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDetectionLatencyBound(t *testing.T) {
+	s := Uniform(1, 1000, 500)
+	if err := s.Validate(400); err == nil {
+		t.Error("latency > period must fail validation")
+	}
+	if err := s.Validate(600); err != nil {
+		t.Errorf("latency < period must validate: %v", err)
+	}
+}
+
+func TestRelativeErrorRateFig1(t *testing.T) {
+	if RelativeErrorRate(0) != 1 {
+		t.Errorf("generation 0 rate = %v, want 1", RelativeErrorRate(0))
+	}
+	// Monotonic growth, roughly 2.16x per generation.
+	prev := 1.0
+	for g := 1; g <= 8; g++ {
+		r := RelativeErrorRate(g)
+		if r <= prev {
+			t.Fatalf("rate not increasing at generation %d", g)
+		}
+		if math.Abs(r/prev-2.16) > 1e-9 {
+			t.Fatalf("growth factor = %v, want 2.16", r/prev)
+		}
+		prev = r
+	}
+}

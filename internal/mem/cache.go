@@ -1,0 +1,133 @@
+// Package mem models the memory subsystem of the simulated machine: private
+// set-associative write-back caches per core (Table I), a flat word-addressed
+// DRAM, the per-word checkpoint log bit maintained by the directory
+// controller (paper §II-A), and the inter-core communication observation the
+// directory provides for coordinated local checkpointing (paper §V-E).
+//
+// The design is functional-direct with timing-model caches, as in Sniper:
+// loads and stores update the flat memory immediately; the caches decide
+// which *level* serviced an access, which determines latency and energy.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// Lines returns the total number of lines.
+func (c CacheConfig) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.Lines() / c.Ways }
+
+// Cache is a set-associative LRU write-back cache used as a timing model:
+// it tracks presence and dirtiness of lines but holds no data (the flat
+// memory is always current functionally).
+type Cache struct {
+	sets  int
+	ways  int
+	shift uint // log2(line words)... set index uses line address directly
+	// tags[set*ways+way]; -1 = invalid.
+	tags  []int64
+	dirty []bool
+	// lruTick[set*ways+way]: larger = more recently used.
+	lruTick []uint64
+	tick    uint64
+}
+
+// NewCache builds a cache from cfg. Sets must be a power of two.
+func NewCache(cfg CacheConfig) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache sets %d not a positive power of two (cfg %+v)", sets, cfg))
+	}
+	n := sets * cfg.Ways
+	c := &Cache{sets: sets, ways: cfg.Ways,
+		tags: make([]int64, n), dirty: make([]bool, n), lruTick: make([]uint64, n)}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Access looks up line; on miss it allocates, evicting the LRU way.
+// It returns whether the access hit, the evicted line (-1 if none), and
+// whether that line was dirty — the caller writes it back to the next
+// level. If markDirty is set the line is marked dirty (store or
+// fill-for-write).
+func (c *Cache) Access(line int64, markDirty bool) (hit bool, evicted int64, evictedDirty bool) {
+	set := int(uint64(line) & uint64(c.sets-1))
+	base := set * c.ways
+	c.tick++
+	victim, victimTick := base, c.lruTick[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.lruTick[i] = c.tick
+			if markDirty {
+				c.dirty[i] = true
+			}
+			return true, -1, false
+		}
+		if c.lruTick[i] < victimTick {
+			victim, victimTick = i, c.lruTick[i]
+		}
+	}
+	evicted = c.tags[victim]
+	evictedDirty = evicted >= 0 && c.dirty[victim]
+	c.tags[victim] = line
+	c.dirty[victim] = markDirty
+	c.lruTick[victim] = c.tick
+	return false, evicted, evictedDirty
+}
+
+// Contains reports whether line is present (no LRU update).
+func (c *Cache) Contains(line int64) bool {
+	set := int(uint64(line) & uint64(c.sets-1))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushDirty marks every dirty line clean and returns how many lines were
+// dirty. Used when establishing a checkpoint (all dirty data is written
+// back to memory, paper §II-A).
+func (c *Cache) FlushDirty() int {
+	n := 0
+	for i, d := range c.dirty {
+		if d && c.tags[i] >= 0 {
+			n++
+			c.dirty[i] = false
+		}
+	}
+	return n
+}
+
+// DirtyLines returns the number of dirty lines without cleaning them.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for i, d := range c.dirty {
+		if d && c.tags[i] >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates the whole cache.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.dirty[i] = false
+		c.lruTick[i] = 0
+	}
+	c.tick = 0
+}

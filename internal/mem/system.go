@@ -1,0 +1,341 @@
+package mem
+
+import (
+	"fmt"
+
+	"acr/internal/energy"
+)
+
+// Config describes the memory subsystem, defaulting to the paper's Table I.
+type Config struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	// LineWords is the cache line size in 64-bit words.
+	LineWords int
+	// Latencies in core cycles at 1.09 GHz (Table I: L1 3.66 ns, L2
+	// 24.77 ns, main memory 120 ns). L1 hits are charged one cycle: the
+	// 4-stage load pipeline is fully overlapped in the in-order model.
+	L1HitCycles int64
+	L2HitCycles int64
+	DRAMCycles  int64
+	// WordsPerCycle is the sustained bandwidth of one memory controller
+	// in 64-bit words per core cycle (Table I: 7.6 GB/s at 1.09 GHz ≈
+	// 0.87 words/cycle).
+	WordsPerCycle float64
+	// CoresPerController: one memory controller per 4 cores (Table I).
+	CoresPerController int
+}
+
+// DefaultConfig returns the Table I configuration.
+func DefaultConfig() Config {
+	return Config{
+		L1I:                CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64},
+		L1D:                CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		L2:                 CacheConfig{SizeBytes: 512 << 10, Ways: 8, LineBytes: 64},
+		LineWords:          8,
+		L1HitCycles:        1,
+		L2HitCycles:        27,
+		DRAMCycles:         131,
+		WordsPerCycle:      0.87,
+		CoresPerController: 4,
+	}
+}
+
+// coreCaches is the private cache stack of one core.
+type coreCaches struct {
+	l1d *Cache
+	l2  *Cache
+}
+
+// System is the whole-machine memory subsystem.
+type System struct {
+	cfg    Config
+	nCores int
+	meter  *energy.Meter
+
+	dram []int64
+	// logBits: one bit per word; set when the word's old value has been
+	// captured (or amnesically omitted) for the current checkpoint
+	// interval (paper §II-A: the directory's log bit; held per word here
+	// because logging is word-granular in this reproduction).
+	logBits []uint64
+
+	// lastWriter[line] = core id + 1 of the last core to store to the
+	// line; 0 if never written. lastWriteIvl[line] is the checkpoint
+	// interval of that store. Both drive communication observation.
+	lastWriter   []int32
+	lastWriteIvl []int32
+	curInterval  int32
+
+	// comm[c] is a bitmask of cores with which core c communicated during
+	// the current interval (read a line another core wrote this
+	// interval, or overwrote such a line).
+	comm []uint64
+
+	caches []coreCaches
+}
+
+// NewSystem builds a memory system with the given number of data words.
+func NewSystem(cfg Config, nCores, words int, meter *energy.Meter) *System {
+	if nCores > 64 {
+		panic("mem: at most 64 cores supported (communication bitmask)")
+	}
+	if words <= 0 {
+		panic("mem: non-positive memory size")
+	}
+	lines := (words + cfg.LineWords - 1) / cfg.LineWords
+	s := &System{
+		cfg:          cfg,
+		nCores:       nCores,
+		meter:        meter,
+		dram:         make([]int64, words),
+		logBits:      make([]uint64, (words+63)/64),
+		lastWriter:   make([]int32, lines),
+		lastWriteIvl: make([]int32, lines),
+		comm:         make([]uint64, nCores),
+		caches:       make([]coreCaches, nCores),
+	}
+	for i := range s.caches {
+		s.caches[i] = coreCaches{l1d: NewCache(cfg.L1D), l2: NewCache(cfg.L2)}
+	}
+	return s
+}
+
+// Words returns the size of data memory in words.
+func (s *System) Words() int { return len(s.dram) }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// ReadWord reads memory functionally, without timing or energy effects.
+// Used by program init, checkpoint verification and tests.
+func (s *System) ReadWord(addr int64) int64 {
+	return s.dram[addr]
+}
+
+// WriteWord writes memory functionally, bypassing caches, timing, energy,
+// log bits and communication tracking. Used by program init and by the
+// recovery handler when restoring state (the restore's cost is charged
+// explicitly by the recovery handler).
+func (s *System) WriteWord(addr, val int64) {
+	s.dram[addr] = val
+}
+
+func (s *System) checkAddr(addr int64) {
+	if addr < 0 || addr >= int64(len(s.dram)) {
+		panic(fmt.Sprintf("mem: address %d out of range [0,%d)", addr, len(s.dram)))
+	}
+}
+
+// access runs addr through core's cache stack and returns the latency,
+// charging energy as it goes. Dirty victims migrate down the hierarchy:
+// an L1 eviction installs the dirty line into L2; an L2 eviction writes it
+// back to memory.
+func (s *System) access(core int, line int64, store bool) int64 {
+	cc := &s.caches[core]
+	s.meter.Add(energy.L1DAccess, 1)
+	hit, victim, victimDirty := cc.l1d.Access(line, store)
+	if hit {
+		return s.cfg.L1HitCycles
+	}
+	if victimDirty {
+		// Write the dirty L1 victim back into L2.
+		s.meter.Add(energy.L2Access, 1)
+		_, v2, v2Dirty := cc.l2.Access(victim, true)
+		if v2Dirty && v2 != victim {
+			s.meter.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
+		}
+	}
+	s.meter.Add(energy.L2Access, 1)
+	hit, victim, victimDirty = cc.l2.Access(line, false)
+	if hit {
+		return s.cfg.L2HitCycles
+	}
+	if victimDirty {
+		// Write-back from L2 to memory: one line of words.
+		s.meter.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
+	}
+	// Line fill from DRAM.
+	s.meter.Add(energy.DRAMRead, uint64(s.cfg.LineWords))
+	return s.cfg.DRAMCycles
+}
+
+// Load performs a data load by core, returning the value and access latency
+// in cycles. Communication with the line's last writer (within the current
+// interval) is recorded for local checkpointing.
+func (s *System) Load(core int, addr int64) (val, cycles int64) {
+	s.checkAddr(addr)
+	line := addr / int64(s.cfg.LineWords)
+	cycles = s.access(core, line, false)
+	s.observeComm(core, line)
+	return s.dram[addr], cycles
+}
+
+// Store performs a data store by core. It returns the old value of the
+// word, whether this is the first store to the word in the current
+// checkpoint interval (log bit was clear; the caller — the checkpoint
+// manager — logs or omits the old value and the bit is set here), and the
+// access latency.
+func (s *System) Store(core int, addr, val int64) (old int64, first bool, cycles int64) {
+	s.checkAddr(addr)
+	line := addr / int64(s.cfg.LineWords)
+	cycles = s.access(core, line, true)
+	s.observeComm(core, line)
+	old = s.dram[addr]
+	s.dram[addr] = val
+
+	w, b := addr/64, uint(addr%64)
+	if s.logBits[w]&(1<<b) == 0 {
+		s.logBits[w] |= 1 << b
+		first = true
+	}
+	s.lastWriter[line] = int32(core) + 1
+	s.lastWriteIvl[line] = s.curInterval
+	return old, first, cycles
+}
+
+func (s *System) observeComm(core int, line int64) {
+	lw := s.lastWriter[line]
+	if lw != 0 && int(lw-1) != core && s.lastWriteIvl[line] == s.curInterval {
+		s.comm[core] |= 1 << uint(lw-1)
+		s.comm[lw-1] |= 1 << uint(core)
+	}
+}
+
+// CommMask returns core's communication bitmask for the current interval.
+func (s *System) CommMask(core int) uint64 { return s.comm[core] }
+
+// CommGroups partitions cores into connected components of the current
+// interval's communication graph. Each group is returned as a bitmask; the
+// groups are disjoint and cover all cores, ordered by lowest member.
+func (s *System) CommGroups() []uint64 {
+	assigned := uint64(0)
+	var groups []uint64
+	for c := 0; c < s.nCores; c++ {
+		if assigned&(1<<uint(c)) != 0 {
+			continue
+		}
+		// BFS over the adjacency masks.
+		group := uint64(1 << uint(c))
+		frontier := group
+		for frontier != 0 {
+			next := uint64(0)
+			for w := 0; w < s.nCores; w++ {
+				if frontier&(1<<uint(w)) != 0 {
+					next |= s.comm[w]
+				}
+			}
+			frontier = next &^ group
+			group |= next
+		}
+		assigned |= group
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// NewInterval begins a new checkpoint interval for the given cores
+// (bitmask): their log bits and communication edges are cleared. Under
+// global checkpointing the mask covers all cores and all log bits clear;
+// under local checkpointing only words last written by group members are
+// cleared (the group checkpoints its own data).
+func (s *System) NewInterval(groupMask uint64, allCores bool) {
+	if allCores {
+		for i := range s.logBits {
+			s.logBits[i] = 0
+		}
+		for c := range s.comm {
+			s.comm[c] = 0
+		}
+		s.curInterval++
+		return
+	}
+	// Local: clear log bits of words on lines last written by the group.
+	lw := s.cfg.LineWords
+	for line, writer := range s.lastWriter {
+		if writer == 0 || groupMask&(1<<uint(writer-1)) == 0 {
+			continue
+		}
+		base := int64(line) * int64(lw)
+		for o := int64(0); o < int64(lw); o++ {
+			addr := base + o
+			if addr >= int64(len(s.dram)) {
+				break
+			}
+			s.logBits[addr/64] &^= 1 << uint(addr%64)
+		}
+	}
+	for c := 0; c < s.nCores; c++ {
+		if groupMask&(1<<uint(c)) != 0 {
+			s.comm[c] = 0
+		}
+	}
+	s.curInterval++
+}
+
+// FlushDirty cleans all dirty lines in the cache stacks of the cores in
+// groupMask, charging DRAM write energy, and returns the number of lines
+// flushed. This models the write-back of dirty data when a checkpoint is
+// established.
+func (s *System) FlushDirty(groupMask uint64) int {
+	total := 0
+	for c := 0; c < s.nCores; c++ {
+		if groupMask&(1<<uint(c)) == 0 {
+			continue
+		}
+		n := s.caches[c].l1d.FlushDirty()
+		n += s.caches[c].l2.FlushDirty()
+		total += n
+	}
+	s.meter.Add(energy.DRAMWrite, uint64(total*s.cfg.LineWords))
+	return total
+}
+
+// Controllers returns the number of memory controllers.
+func (s *System) Controllers() int {
+	n := s.nCores / s.cfg.CoresPerController
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TransferCycles returns the time, in cycles, to move the given number of
+// words through the memory controllers, assuming uniform interleaving
+// (Table I bandwidth: 7.6 GB/s per controller, one per four cores).
+func (s *System) TransferCycles(words int) int64 {
+	if words <= 0 {
+		return 0
+	}
+	perCtrl := float64(words) / float64(s.Controllers())
+	return int64(perCtrl/s.cfg.WordsPerCycle) + 1
+}
+
+// ResetCaches invalidates every cache (used between independent runs).
+func (s *System) ResetCaches() {
+	for i := range s.caches {
+		s.caches[i].l1d.Reset()
+		s.caches[i].l2.Reset()
+	}
+}
+
+// DirtyLines reports the current number of dirty lines across the cache
+// stacks of cores in groupMask, without flushing.
+func (s *System) DirtyLines(groupMask uint64) int {
+	n := 0
+	for c := 0; c < s.nCores; c++ {
+		if groupMask&(1<<uint(c)) != 0 {
+			n += s.caches[c].l1d.DirtyLines() + s.caches[c].l2.DirtyLines()
+		}
+	}
+	return n
+}
+
+// AllCoresMask returns the bitmask covering every core.
+func (s *System) AllCoresMask() uint64 {
+	if s.nCores == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(s.nCores)) - 1
+}

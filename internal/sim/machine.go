@@ -1,0 +1,577 @@
+// Package sim ties the substrates into a whole-machine simulator: in-order
+// cores (cpu), the memory subsystem (mem), the energy model (energy), the
+// baseline checkpointing substrate (ckpt), ACR (core), and the fail-stop
+// fault model (fault). It plays the role Snipersim plays in the paper's
+// evaluation (§IV).
+//
+// Scheduling is deterministic: among runnable cores, the one with the
+// smallest local clock executes next (ties broken by core id); barriers
+// synchronise all live cores; checkpoint boundaries and error detections
+// fire as timed events interleaved with execution in timestamp order.
+// Recovery is real, not modelled: memory and architectural state are rolled
+// back, omitted values are recomputed along their Slices, and the machine
+// re-executes the lost work, so the wasted time and energy of Equation 3
+// accrue naturally and final program outputs are verifiably identical to
+// error-free runs.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"acr/internal/ckpt"
+	acr "acr/internal/core"
+	"acr/internal/cpu"
+	"acr/internal/energy"
+	"acr/internal/fault"
+	"acr/internal/mem"
+	"acr/internal/prog"
+	"acr/internal/slice"
+)
+
+// Config assembles a machine. The zero value is not runnable; start from
+// DefaultConfig.
+type Config struct {
+	Cores  int
+	Mem    mem.Config
+	Energy *energy.Model
+
+	// Checkpointing enables the BER substrate. Mode selects global or
+	// local coordination. Amnesic attaches ACR.
+	Checkpointing bool
+	Mode          ckpt.Mode
+	Amnesic       bool
+	ACR           acr.Config
+
+	// PeriodCycles is the checkpoint period; MaxCheckpoints caps how many
+	// checkpoints are established (the paper fixes the count per run and
+	// distributes them uniformly, §IV).
+	PeriodCycles   int64
+	MaxCheckpoints int64
+	// ROIStartCycles marks the start of the region of interest: a
+	// checkpoint is established there and the checkpointing statistics
+	// are reset, so reported volumes exclude program initialisation
+	// (the paper measures the ROI, §IV). Zero means the ROI starts at 0.
+	ROIStartCycles int64
+	// AdaptivePlacement enables recomputation-aware checkpoint placement
+	// — the future-work idea of paper §V-D1/§V-D3: instead of blindly
+	// checkpointing at uniform boundaries, a boundary is deferred (by a
+	// quarter period, at most three times) while the open interval's
+	// omission ratio runs above the historical average, i.e. while
+	// recomputation is absorbing the would-be checkpoint. Checkpoints
+	// are thereby spent on the amnesia-resistant execution regions and
+	// stretched over the amnesia-friendly ones.
+	AdaptivePlacement bool
+
+	// Errors optionally schedules fail-stop errors.
+	Errors *fault.Schedule
+
+	// MaxSteps bounds total instruction executions as a runaway guard.
+	MaxSteps int64
+
+	// RecordTimeline retains checkpoint/recovery events in the Result.
+	RecordTimeline bool
+}
+
+// DefaultConfig returns the paper's Table I machine with checkpointing
+// disabled (the NoCkpt baseline).
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:    cores,
+		Mem:      mem.DefaultConfig(),
+		Energy:   energy.Default22nm(),
+		ACR:      acr.DefaultConfig(cores),
+		MaxSteps: 2_000_000_000,
+	}
+}
+
+// Result summarises a run.
+type Result struct {
+	// Cycles is the makespan: the largest core-local clock at completion.
+	Cycles int64
+	// Instrs is the total number of retired instructions.
+	Instrs int64
+	// EnergyPJ is total energy including leakage; DynamicPJ excludes it.
+	EnergyPJ  float64
+	DynamicPJ float64
+	// Barriers counts barrier episodes.
+	Barriers int64
+
+	// Ckpt carries checkpointing statistics (zero value when disabled).
+	Ckpt ckpt.Stats
+	// Intervals is the per-interval checkpoint volume history.
+	Intervals []ckpt.IntervalStat
+	// AddrMap carries ACR statistics (zero value when not amnesic).
+	AddrMap acr.AddrMapStats
+	// Timeline is the event log (empty unless Config.RecordTimeline).
+	Timeline []Event
+}
+
+// EDP returns the energy-delay product in pJ·cycles.
+func (r Result) EDP() float64 { return r.EnergyPJ * float64(r.Cycles) }
+
+// EventKind tags a timeline event.
+type EventKind uint8
+
+// Timeline event kinds.
+const (
+	EvCheckpoint EventKind = iota
+	EvDefer
+	EvError
+	EvRecovery
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvDefer:
+		return "defer"
+	case EvError:
+		return "error"
+	case EvRecovery:
+		return "recovery"
+	}
+	return "event"
+}
+
+// Event is one entry of the machine's timeline: when checkpoints were
+// established, boundaries deferred, errors detected and recoveries
+// performed. The timeline is recorded only when Config.RecordTimeline is
+// set (it grows with the run).
+type Event struct {
+	Time int64
+	Kind EventKind
+	// Detail carries kind-specific counts: logged words for checkpoints,
+	// restored words for recoveries.
+	Detail int64
+}
+
+// Machine is a runnable simulated machine.
+type Machine struct {
+	cfg     Config
+	program *prog.Program
+	cores   []*cpu.Core
+	sys     *mem.System
+	meter   *energy.Meter
+	tracker *slice.Tracker
+	handler *acr.Handler
+	mgr     *ckpt.Manager
+	faults  *fault.Schedule
+
+	nextCkpt   int64
+	ckptsDone  int64
+	roiPending bool
+	defers     int
+	timeline   []Event
+	barriers   int64
+	errIndex   int
+	steps      int64
+}
+
+// New builds a machine for program p. The program is validated; its Init
+// function seeds data memory (modelling the pre-ROI phase, not charged).
+func New(cfg Config, p *prog.Program) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores <= 0 {
+		return nil, errors.New("sim: config needs at least one core")
+	}
+	if cfg.Checkpointing && cfg.PeriodCycles <= 0 {
+		return nil, errors.New("sim: checkpointing enabled with non-positive period")
+	}
+	if cfg.Checkpointing && cfg.MaxCheckpoints == 0 {
+		cfg.MaxCheckpoints = 1 << 62 // unlimited
+	}
+	if cfg.Errors != nil && !cfg.Checkpointing {
+		return nil, errors.New("sim: error schedule without checkpointing cannot recover")
+	}
+	if cfg.Errors != nil {
+		if err := cfg.Errors.Validate(cfg.PeriodCycles); err != nil {
+			return nil, err
+		}
+	}
+
+	m := &Machine{cfg: cfg, program: p, faults: cfg.Errors}
+	m.meter = energy.NewMeter(cfg.Energy)
+	words := p.DataWords
+	if words == 0 {
+		words = 64
+	}
+	m.sys = mem.NewSystem(cfg.Mem, cfg.Cores, words, m.meter)
+	if p.Init != nil {
+		buf := make([]int64, words)
+		p.Init(buf)
+		for i, v := range buf {
+			if v != 0 {
+				m.sys.WriteWord(int64(i), v)
+			}
+		}
+	}
+
+	m.cores = make([]*cpu.Core, cfg.Cores)
+	for i := range m.cores {
+		m.cores[i] = cpu.New(i, p.Entry, cfg.Cores)
+	}
+
+	if cfg.Amnesic {
+		if !cfg.Checkpointing {
+			return nil, errors.New("sim: amnesic mode requires checkpointing")
+		}
+		m.tracker = slice.NewTracker(cfg.Cores)
+		m.handler = acr.NewHandler(cfg.ACR, m.tracker, m.meter)
+		for _, c := range m.cores {
+			c.AssocEnabled = true
+			m.tracker.ResetCore(c.ID, &c.Regs)
+		}
+	}
+	if cfg.Checkpointing {
+		m.mgr = ckpt.NewManager(cfg.Mode, m.sys, m.meter, m.handler, m.archStates())
+		m.nextCkpt = cfg.PeriodCycles
+		m.roiPending = cfg.ROIStartCycles > 0
+	}
+	return m, nil
+}
+
+// Mem exposes the memory system for result verification.
+func (m *Machine) Mem() *mem.System { return m.sys }
+
+// Manager exposes the checkpoint manager (nil when disabled).
+func (m *Machine) Manager() *ckpt.Manager { return m.mgr }
+
+func (m *Machine) archStates() []cpu.ArchState {
+	arch := make([]cpu.ArchState, len(m.cores))
+	for i, c := range m.cores {
+		arch[i] = c.Arch()
+	}
+	return arch
+}
+
+// FirstStore implements cpu.Hooks.
+func (m *Machine) FirstStore(core int, addr, old int64) int64 {
+	if m.mgr == nil {
+		return 0
+	}
+	return m.mgr.OnFirstStore(core, addr, old)
+}
+
+// Assoc implements cpu.Hooks.
+func (m *Machine) Assoc(core int, addr int64, recipe slice.Ref) int64 {
+	if m.handler == nil {
+		return 0
+	}
+	return m.handler.OnAssoc(core, addr, recipe)
+}
+
+// barrierCycles is the synchronisation cost of n cores coordinating.
+func barrierCycles(n int) int64 { return 40 + 4*int64(n) }
+
+// handlerCycles is the fixed checkpoint/recovery handler overhead.
+const handlerCycles = 25
+
+// Run executes the program to completion and returns the run summary.
+func (m *Machine) Run() (Result, error) {
+	for {
+		running, atBarrier, halted := m.census()
+		if halted == len(m.cores) {
+			break
+		}
+		if running == 0 && atBarrier > 0 {
+			m.releaseBarrier()
+			continue
+		}
+		if running == 0 {
+			return Result{}, errors.New("sim: no runnable cores (scheduling bug)")
+		}
+
+		c := m.minRunningCore()
+		horizon := c.Cycles()
+
+		// Timed events up to the horizon, in timestamp order.
+		ckptTime, haveCkpt := m.pendingCheckpoint(horizon)
+		errOccur, errDetect, haveErr := m.pendingError(horizon)
+		switch {
+		case haveCkpt && (!haveErr || ckptTime <= errDetect):
+			if m.deferCheckpoint() {
+				continue
+			}
+			m.doCheckpoint()
+			continue
+		case haveErr:
+			if err := m.doRecovery(errOccur, errDetect); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+
+		c.Step(m.program, m.sys, m.tracker, m, m.meter)
+		m.steps++
+		if m.steps > m.cfg.MaxSteps {
+			return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+		}
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) census() (running, atBarrier, halted int) {
+	for _, c := range m.cores {
+		switch c.State {
+		case cpu.Running:
+			running++
+		case cpu.AtBarrier:
+			atBarrier++
+		default:
+			halted++
+		}
+	}
+	return
+}
+
+func (m *Machine) minRunningCore() *cpu.Core {
+	var best *cpu.Core
+	for _, c := range m.cores {
+		if c.State != cpu.Running {
+			continue
+		}
+		if best == nil || c.Cycles() < best.Cycles() {
+			best = c
+		}
+	}
+	return best
+}
+
+func (m *Machine) pendingCheckpoint(horizon int64) (int64, bool) {
+	if m.mgr == nil || (!m.roiPending && m.ckptsDone >= m.cfg.MaxCheckpoints) {
+		return 0, false
+	}
+	if horizon >= m.nextCkpt {
+		return m.nextCkpt, true
+	}
+	return 0, false
+}
+
+func (m *Machine) pendingError(horizon int64) (occur, detect int64, ok bool) {
+	occur, detect, ok = m.faults.Pending()
+	if !ok || detect > horizon {
+		return 0, 0, false
+	}
+	return occur, detect, true
+}
+
+// releaseBarrier resumes all barrier-waiting cores at the synchronised time.
+func (m *Machine) releaseBarrier() {
+	t := int64(0)
+	n := 0
+	for _, c := range m.cores {
+		if c.State == cpu.AtBarrier {
+			n++
+			if c.Cycles() > t {
+				t = c.Cycles()
+			}
+		}
+	}
+	t += barrierCycles(n)
+	for _, c := range m.cores {
+		if c.State == cpu.AtBarrier {
+			c.SetCycles(t)
+			c.State = cpu.Running
+		}
+	}
+	m.meter.Add(energy.BarrierSync, uint64(n))
+	m.barriers++
+}
+
+// deferCheckpoint reports whether adaptive placement wants to push the
+// pending boundary out, and performs the deferral.
+func (m *Machine) deferCheckpoint() bool {
+	if !m.cfg.AdaptivePlacement || m.roiPending || m.defers >= 3 {
+		return false
+	}
+	ivs := m.mgr.Intervals()
+	if len(ivs) < 3 {
+		return false
+	}
+	var logged, omitted, size float64
+	for _, iv := range ivs {
+		logged += float64(iv.Logged)
+		omitted += float64(iv.Omitted)
+		size += float64(iv.Size())
+	}
+	if logged+omitted == 0 {
+		return false
+	}
+	avgRatio := omitted / (logged + omitted)
+	open := m.mgr.OpenInterval()
+	if float64(open.Size()) < size/float64(len(ivs))/2 {
+		// Too little volume yet to judge the region.
+		return false
+	}
+	ratio := float64(open.Omitted) / float64(open.Size())
+	if ratio <= avgRatio+0.02 {
+		return false
+	}
+	m.defers++
+	m.record(Event{Time: m.nextCkpt, Kind: EvDefer})
+	m.nextCkpt += m.cfg.PeriodCycles / 4
+	return true
+}
+
+func (m *Machine) record(e Event) {
+	if m.cfg.RecordTimeline {
+		m.timeline = append(m.timeline, e)
+	}
+}
+
+// doCheckpoint establishes a coordinated checkpoint (global or local).
+func (m *Machine) doCheckpoint() {
+	// Establishment start: the latest point any live core has reached.
+	tMax := int64(0)
+	for _, c := range m.cores {
+		if c.State != cpu.Halted && c.Cycles() > tMax {
+			tMax = c.Cycles()
+		}
+	}
+	info := m.mgr.Establish(tMax, m.archStates())
+
+	maxRelease := tMax
+	for _, g := range info.Groups {
+		// Group start time: the latest member (under Global the single
+		// group makes this tMax, i.e. full coordination skew).
+		tg := int64(0)
+		for _, c := range m.cores {
+			if g.Mask&(1<<uint(c.ID)) != 0 && c.State != cpu.Halted && c.Cycles() > tg {
+				tg = c.Cycles()
+			}
+		}
+		stall := barrierCycles(g.Cores) + handlerCycles +
+			m.sys.TransferCycles(g.FlushedWords+g.ArchWords+g.LogWords)
+		release := tg + stall
+		if release > maxRelease {
+			maxRelease = release
+		}
+		for _, c := range m.cores {
+			if g.Mask&(1<<uint(c.ID)) != 0 && c.State != cpu.Halted {
+				c.SetCycles(release)
+			}
+		}
+		m.meter.Add(energy.BarrierSync, uint64(g.Cores))
+		m.meter.Add(energy.HandlerOp, uint64(g.Cores))
+	}
+
+	switch {
+	case m.roiPending && tMax >= m.cfg.ROIStartCycles:
+		// The first checkpoint inside the region of interest:
+		// statistics are measured from here on. Checkpoints taken
+		// during warm-up kept the AddrMap and log bits in steady
+		// state but are not reported and not budgeted.
+		m.roiPending = false
+		m.mgr.ResetStats()
+	case m.roiPending:
+		// Warm-up checkpoint: unbudgeted.
+	default:
+		m.ckptsDone++
+	}
+	m.defers = 0
+	m.record(Event{Time: tMax, Kind: EvCheckpoint, Detail: int64(m.mgr.Stats().LoggedWords)})
+	// Boundaries continue on the wall clock; if establishment (or a
+	// recovery) overshot several boundaries, take one checkpoint now and
+	// resume the cadence from here rather than firing a burst. The next
+	// boundary must land strictly after every core has resumed, or a
+	// period shorter than the establishment stall would livelock the
+	// machine in back-to-back checkpoints.
+	m.nextCkpt += m.cfg.PeriodCycles
+	if m.nextCkpt <= maxRelease {
+		m.nextCkpt = maxRelease + 1
+	}
+}
+
+// doRecovery rolls the machine back to the most recent safe checkpoint,
+// recomputing amnesically omitted values, and charges the recovery stall.
+func (m *Machine) doRecovery(errOccur, errDetect int64) error {
+	target, err := m.mgr.SafeTarget(errOccur)
+	if err != nil {
+		return err
+	}
+	info, err := m.mgr.Rollback(target, len(m.cores))
+	if err != nil {
+		return err
+	}
+
+	// Detection point: every live core has at least reached errDetect.
+	tDetect := errDetect
+	for _, c := range m.cores {
+		if c.State != cpu.Halted && c.Cycles() > tDetect {
+			tDetect = c.Cycles()
+		}
+	}
+
+	// The group that must stall for the roll-back: everyone under Global;
+	// the erring core's communication component under Local (the paper's
+	// coordinated-local recovery, §V-E). The erring core rotates
+	// deterministically across injected errors.
+	groupMask := m.sys.AllCoresMask()
+	if m.mgr.Mode() == ckpt.Local {
+		errCore := m.errIndex % len(m.cores)
+		for _, g := range m.sys.CommGroups() {
+			if g&(1<<uint(errCore)) != 0 {
+				groupMask = g
+				break
+			}
+		}
+	}
+	m.errIndex++
+
+	maxRecompute := int64(0)
+	for coreID, rc := range info.RecomputeCycles {
+		if groupMask&(1<<uint(coreID)) != 0 && rc > maxRecompute {
+			maxRecompute = rc
+		}
+	}
+	stall := handlerCycles + barrierCycles(bits.OnesCount64(groupMask)) +
+		m.sys.TransferCycles(int(info.LogWordsRead+info.WordsRestored)) +
+		maxRecompute
+	release := tDetect + stall
+
+	// Functional roll-back of every core (determinism keeps non-group
+	// cores' re-execution identical under Local; only the stall charge
+	// is confined to the group).
+	for i, c := range m.cores {
+		c.Restore(&target.Arch[i])
+		if groupMask&(1<<uint(c.ID)) != 0 {
+			c.SetCycles(release)
+		} else {
+			c.SetCycles(tDetect)
+		}
+		if m.tracker != nil {
+			m.tracker.ResetCore(c.ID, &c.Regs)
+		}
+	}
+	m.faults.Consume()
+	m.record(Event{Time: errOccur, Kind: EvError})
+	m.record(Event{Time: release, Kind: EvRecovery, Detail: info.WordsRestored})
+	return nil
+}
+
+func (m *Machine) result() Result {
+	r := Result{Barriers: m.barriers}
+	for _, c := range m.cores {
+		if c.Cycles() > r.Cycles {
+			r.Cycles = c.Cycles()
+		}
+		r.Instrs += c.Instrs
+	}
+	m.meter.AddLeakage(float64(r.Cycles) * float64(len(m.cores)))
+	r.EnergyPJ = m.meter.TotalPJ()
+	r.DynamicPJ = m.meter.DynamicPJ()
+	if m.mgr != nil {
+		r.Ckpt = m.mgr.Stats()
+		r.Intervals = append(r.Intervals, m.mgr.Intervals()...)
+	}
+	if m.handler != nil {
+		r.AddrMap = m.handler.AddrMap().Stats()
+	}
+	r.Timeline = m.timeline
+	return r
+}

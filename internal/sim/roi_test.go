@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	acr "acr/internal/core"
+)
+
+// TestROIStatsExcludeWarmup: with an ROI start, the reported interval
+// history must begin after the warm-up, and the warm-up checkpoints must
+// not count against the budget.
+func TestROIStatsExcludeWarmup(t *testing.T) {
+	base, _ := baseline(t)
+	cfg := ckptConfig(t, true, tCkpts)
+	cfg.ROIStartCycles = base.Cycles / 3
+	cfg.MaxCheckpoints = 4
+	res, _ := runCfg(t, cfg)
+	// The budget caps post-ROI checkpoints; the run may end before the
+	// budget is exhausted.
+	if res.Ckpt.Checkpoints > 4 || res.Ckpt.Checkpoints < 2 {
+		t.Errorf("budgeted checkpoints = %d, want 2..4", res.Ckpt.Checkpoints)
+	}
+	// Warm-up stores (first touches of every array) must not appear in
+	// the ROI statistics: with a warm AddrMap, the ROI intervals see
+	// omissions from their very first interval.
+	if len(res.Intervals) == 0 {
+		t.Fatal("no ROI intervals")
+	}
+	if res.Intervals[0].Omitted == 0 {
+		t.Errorf("first ROI interval has no omissions — AddrMap not warm: %+v", res.Intervals[0])
+	}
+}
+
+// TestROIRunsAreStillCorrect: ROI bookkeeping must not perturb semantics.
+func TestROIRunsAreStillCorrect(t *testing.T) {
+	_, base := baseline(t)
+	bcfg, _ := baseline(t)
+	cfg := errConfig(t, true, tCkpts, 2)
+	cfg.ROIStartCycles = bcfg.Cycles / 4
+	res, memv := runCfg(t, cfg)
+	if res.Ckpt.Recoveries != 2 {
+		t.Fatalf("recoveries = %d", res.Ckpt.Recoveries)
+	}
+	checkSameMem(t, memv, base, "roi")
+}
+
+// TestAdaptiveDefersReduceCheckpoints: on a workload with uniformly high
+// omission, adaptive placement must stretch intervals and realise fewer
+// checkpoints for the same budget and period.
+func TestAdaptiveDefersReduceCheckpoints(t *testing.T) {
+	cfg := ckptConfig(t, true, 12)
+	cfg.ACR = acr.Config{Threshold: 10, MapCapacity: 4096 * tThreads}
+	uni, _ := runCfg(t, cfg)
+	cfg.AdaptivePlacement = true
+	ada, _ := runCfg(t, cfg)
+	if ada.Ckpt.Checkpoints > uni.Ckpt.Checkpoints {
+		t.Errorf("adaptive realised more checkpoints (%d) than uniform (%d)",
+			ada.Ckpt.Checkpoints, uni.Ckpt.Checkpoints)
+	}
+	if ada.Cycles > uni.Cycles {
+		t.Errorf("adaptive slower (%d) than uniform (%d) on an omission-rich kernel",
+			ada.Cycles, uni.Cycles)
+	}
+}
+
+func TestTimelineRecordsEvents(t *testing.T) {
+	cfg := errConfig(t, true, tCkpts, 1)
+	cfg.RecordTimeline = true
+	res, _ := runCfg(t, cfg)
+	var ckpts, errs, recs int
+	for _, e := range res.Timeline {
+		switch e.Kind {
+		case EvCheckpoint:
+			ckpts++
+		case EvError:
+			errs++
+		case EvRecovery:
+			recs++
+		}
+	}
+	if int64(ckpts) != res.Ckpt.Checkpoints+1 { // +1: the pre-budget warmup/initial boundary may add
+		// The timeline includes unbudgeted boundaries too; just require
+		// at least the budgeted count.
+		if int64(ckpts) < res.Ckpt.Checkpoints {
+			t.Errorf("timeline checkpoints %d < budgeted %d", ckpts, res.Ckpt.Checkpoints)
+		}
+	}
+	if errs != 1 || recs != 1 {
+		t.Errorf("timeline errors/recoveries = %d/%d, want 1/1", errs, recs)
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].Time < res.Timeline[i-1].Time {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+	// Without the flag, no timeline is retained.
+	cfg.RecordTimeline = false
+	res2, _ := runCfg(t, cfg)
+	if len(res2.Timeline) != 0 {
+		t.Error("timeline recorded without the flag")
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	names := map[EventKind]string{
+		EvCheckpoint: "checkpoint", EvDefer: "defer",
+		EvError: "error", EvRecovery: "recovery", EventKind(99): "event",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("EventKind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package slice
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"acr/internal/isa"
+)
+
+// COp is one instruction of a compiled Slice. Operand fields index the
+// evaluation slot array: slots [0, NumInputs) hold buffered inputs, slot
+// NumInputs+j holds the result of op j. -1 marks an unused operand.
+type COp struct {
+	Op      isa.Op
+	A, B, C int32
+	Imm     int64
+}
+
+// Compiled is a standalone, embeddable Slice: the object the paper's
+// compiler pass bakes into the binary, together with the snapshot of its
+// input operands captured by ASSOC-ADDR into the input-operand buffer
+// (paper §II-B). It is immutable after construction and independent of the
+// Tracker arena.
+type Compiled struct {
+	// Inputs are the buffered input operand values, in slot order.
+	Inputs []int64
+	// Ops are the Slice instructions in dependence (topological) order.
+	// The value produced by the last op is the recomputed value.
+	Ops []COp
+}
+
+// Len returns the Slice length in instructions — the quantity the paper's
+// threshold gates on (§III-A).
+func (c *Compiled) Len() int { return len(c.Ops) }
+
+// NumInputs returns the number of buffered input operands.
+func (c *Compiled) NumInputs() int { return len(c.Inputs) }
+
+// FloatOps and IntOps split the Slice length by unit, for energy charging.
+func (c *Compiled) FloatOps() (n int) {
+	for _, op := range c.Ops {
+		if op.Op.IsFloat() {
+			n++
+		}
+	}
+	return n
+}
+
+// IntOps returns the number of integer ALU instructions in the Slice.
+func (c *Compiled) IntOps() int { return len(c.Ops) - c.FloatOps() }
+
+// StorageWords returns the number of 64-bit words of on-chip storage the
+// AddrMap/input buffer spends on this Slice instance (inputs + one word per
+// two ops for the embedded code reference, rounded up).
+func (c *Compiled) StorageWords() int {
+	return len(c.Inputs) + (len(c.Ops)+1)/2
+}
+
+// Eval recomputes the value on scratch (the scratchpad of paper §II-B;
+// grown as needed). A Slice with zero ops returns its single input (a pure
+// buffered value) or 0 if it has no inputs (the zero recipe).
+func (c *Compiled) Eval(scratch []int64) int64 {
+	need := len(c.Inputs) + len(c.Ops)
+	if need == 0 {
+		return 0
+	}
+	if cap(scratch) < need {
+		scratch = make([]int64, need)
+	}
+	scratch = scratch[:need]
+	copy(scratch, c.Inputs)
+	get := func(i int32) int64 {
+		if i < 0 {
+			return 0
+		}
+		return scratch[i]
+	}
+	base := len(c.Inputs)
+	for j, op := range c.Ops {
+		scratch[base+j] = isa.EvalALU(op.Op, get(op.A), get(op.B), get(op.C), op.Imm)
+	}
+	return scratch[need-1]
+}
+
+// String renders the Slice as pseudo-assembly over slots s0, s1, ...
+func (c *Compiled) String() string {
+	var b strings.Builder
+	for i, v := range c.Inputs {
+		fmt.Fprintf(&b, "s%d = input(%d)\n", i, v)
+	}
+	operand := func(i int32) string {
+		if i < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("s%d", i)
+	}
+	base := len(c.Inputs)
+	for j, op := range c.Ops {
+		switch {
+		case op.Op.HasImm() && op.A >= 0:
+			fmt.Fprintf(&b, "s%d = %s %s, %d\n", base+j, op.Op, operand(op.A), op.Imm)
+		case op.Op.HasImm():
+			fmt.Fprintf(&b, "s%d = %s %d\n", base+j, op.Op, op.Imm)
+		case op.C >= 0:
+			fmt.Fprintf(&b, "s%d = %s %s, %s, %s\n", base+j, op.Op, operand(op.A), operand(op.B), operand(op.C))
+		case op.B >= 0:
+			fmt.Fprintf(&b, "s%d = %s %s, %s\n", base+j, op.Op, operand(op.A), operand(op.B))
+		default:
+			fmt.Fprintf(&b, "s%d = %s %s\n", base+j, op.Op, operand(op.A))
+		}
+	}
+	return b.String()
+}
+
+// unusedEnc marks an unused operand during compilation.
+const unusedEnc = int32(math.MinInt32)
+
+// Compile serialises the recipe r into a standalone Slice, deduplicating
+// shared sub-expressions, or reports false if the recipe is opaque or needs
+// more than maxOps instructions. The walk aborts as soon as the op budget
+// is exceeded, so Compile stays cheap even when invoked on every
+// ASSOC-ADDR.
+func (t *Tracker) Compile(r Ref, maxOps int) (*Compiled, bool) {
+	if t.at(r).kind == kindOpaque {
+		return nil, false
+	}
+	c := &Compiled{}
+	clear(t.slotOf)
+	if !t.emit(r, c, maxOps) {
+		return nil, false
+	}
+	// Fix up operand encodings: inputs keep their index; op results are
+	// encoded as ^opIndex and shift by the final input count.
+	n := int32(len(c.Inputs))
+	fix := func(v int32) int32 {
+		switch {
+		case v == unusedEnc:
+			return -1
+		case v < 0:
+			return n + ^v
+		default:
+			return v
+		}
+	}
+	for j := range c.Ops {
+		c.Ops[j].A = fix(c.Ops[j].A)
+		c.Ops[j].B = fix(c.Ops[j].B)
+		c.Ops[j].C = fix(c.Ops[j].C)
+	}
+	return c, true
+}
+
+// emit appends r's subgraph to c in topological order. During the walk,
+// slotOf holds: input index (≥ 0) for leaves, ^opIndex (< 0) for ops.
+func (t *Tracker) emit(r Ref, c *Compiled, maxOps int) bool {
+	if _, done := t.slotOf[r]; done {
+		return true
+	}
+	n := t.at(r)
+	switch n.kind {
+	case kindOpaque:
+		return false
+	case kindZero, kindInput:
+		val := int64(0)
+		if n.kind == kindInput {
+			val = n.val
+		}
+		c.Inputs = append(c.Inputs, val)
+		t.slotOf[r] = int32(len(c.Inputs) - 1)
+		return true
+	}
+	for _, ch := range [3]Ref{n.a, n.b, n.c} {
+		if ch == noRef {
+			continue
+		}
+		if !t.emit(ch, c, maxOps) {
+			return false
+		}
+	}
+	if len(c.Ops) >= maxOps {
+		return false
+	}
+	op := COp{Op: n.op, A: unusedEnc, B: unusedEnc, C: unusedEnc, Imm: n.imm}
+	if n.a != noRef {
+		op.A = t.slotOf[n.a]
+	}
+	if n.b != noRef {
+		op.B = t.slotOf[n.b]
+	}
+	if n.c != noRef {
+		op.C = t.slotOf[n.c]
+	}
+	c.Ops = append(c.Ops, op)
+	t.slotOf[r] = ^int32(len(c.Ops) - 1)
+	return true
+}

@@ -1,0 +1,122 @@
+package slice
+
+import (
+	"fmt"
+	"strings"
+
+	"acr/internal/isa"
+)
+
+// Static is the result of static backward slicing from a store over a
+// straight-line (unrolled) instruction window — the classic Weiser slice of
+// Fig. 3(b/c), before it is turned into an ACR Slice by replacing loads
+// with buffered inputs (Fig. 3(d)).
+type Static struct {
+	// StoreIdx is the index of the sliced store within the window.
+	StoreIdx int
+	// Members lists window indices of arithmetic/logic instructions in
+	// the slice, in program order. This is the ACR Slice body.
+	Members []int
+	// InputLoads lists window indices of load instructions whose results
+	// feed the slice; ACR replaces each with a buffered input operand.
+	InputLoads []int
+	// LiveIn lists registers the slice needs at window entry; these also
+	// become buffered inputs.
+	LiveIn []isa.Reg
+}
+
+// Len returns the ACR Slice length in instructions (members only — loads
+// and the store itself are not part of a Slice, paper §III-A).
+func (s *Static) Len() int { return len(s.Members) }
+
+// NumInputs returns the number of buffered input operands the Slice needs.
+func (s *Static) NumInputs() int { return len(s.InputLoads) + len(s.LiveIn) }
+
+// Backward computes the static backward slice of the store at storeIdx in
+// the straight-line window code. Branches inside the window are skipped:
+// the paper derives Slices from unrolled traces, so the window is assumed
+// to be an execution-ordered trace (Fig. 3's loop "would be unrolled in
+// reality", footnote 1).
+func Backward(code []isa.Instr, storeIdx int) (*Static, error) {
+	if storeIdx < 0 || storeIdx >= len(code) {
+		return nil, fmt.Errorf("slice: store index %d out of range", storeIdx)
+	}
+	st := code[storeIdx]
+	if st.Op != isa.ST {
+		return nil, fmt.Errorf("slice: instruction %d is %v, not a store", storeIdx, st.Op)
+	}
+	s := &Static{StoreIdx: storeIdx}
+	needed := map[isa.Reg]bool{st.Rt: true}
+	delete(needed, 0) // r0 is constant
+	var members, inputs []int
+	for i := storeIdx - 1; i >= 0; i-- {
+		in := code[i]
+		rd, writes := in.DstReg()
+		if !writes || rd == 0 || !needed[rd] {
+			continue
+		}
+		switch {
+		case in.Op.IsALU():
+			members = append(members, i)
+			delete(needed, rd)
+			for _, r := range in.SrcRegs(nil) {
+				if r != 0 {
+					needed[r] = true
+				}
+			}
+		case in.Op == isa.LD:
+			inputs = append(inputs, i)
+			delete(needed, rd)
+		default:
+			// An opaque producer (should not occur for this ISA);
+			// treat like a live-in cut.
+			delete(needed, rd)
+			s.LiveIn = append(s.LiveIn, rd)
+		}
+	}
+	// Reverse into program order.
+	for i := len(members) - 1; i >= 0; i-- {
+		s.Members = append(s.Members, members[i])
+	}
+	for i := len(inputs) - 1; i >= 0; i-- {
+		s.InputLoads = append(s.InputLoads, inputs[i])
+	}
+	for r := range needed {
+		s.LiveIn = append(s.LiveIn, r)
+	}
+	sortRegs(s.LiveIn)
+	return s, nil
+}
+
+func sortRegs(rs []isa.Reg) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Render pretty-prints the slice against its window, in the style of
+// Fig. 3: members are marked [S], input loads [I], the store [ST].
+func (s *Static) Render(code []isa.Instr) string {
+	mark := make(map[int]string)
+	for _, i := range s.Members {
+		mark[i] = "[S] "
+	}
+	for _, i := range s.InputLoads {
+		mark[i] = "[I] "
+	}
+	mark[s.StoreIdx] = "[ST]"
+	var b strings.Builder
+	for i, in := range code {
+		m := mark[i]
+		if m == "" {
+			m = "    "
+		}
+		fmt.Fprintf(&b, "%s %4d  %s\n", m, i, in)
+	}
+	if len(s.LiveIn) > 0 {
+		fmt.Fprintf(&b, "live-in inputs: %v\n", s.LiveIn)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+// Package slice implements the recomputation substrate of ACR: extraction,
+// representation and evaluation of Slices (paper §II-B, §III-A).
+//
+// A Slice is the backward slice of the value written by a store, restricted
+// to arithmetic/logic instructions: loads (and any other opaque producers)
+// cut the slice and their values become buffered *input operands*. The paper
+// extracts Slices with a Pin-based compiler pass that unrolls loops and
+// embeds qualifying Slices (length ≤ threshold) into the binary; this
+// package derives the identical object at simulation time by maintaining,
+// per architectural register, the expression DAG ("recipe") of its current
+// value. The invariant — evaluating a register's recipe always reproduces
+// the register's architectural value bit-for-bit — is what makes amnesic
+// recovery exact.
+package slice
+
+import (
+	"acr/internal/isa"
+)
+
+// Ref identifies a recipe node inside a Tracker. Refs are invalidated by
+// arena compaction; they must not be stored outside the Tracker. Durable
+// consumers (the AddrMap) call Compile to obtain a standalone Slice.
+type Ref = int32
+
+const noRef Ref = -1
+
+// SatSize is the saturation value of the tree-size field: a recipe whose
+// unrolled instruction count reaches SatSize is treated as unrecomputable
+// (it could never satisfy any threshold the paper sweeps, which tops out at
+// 50 instructions).
+const SatSize = 255
+
+type nodeKind uint8
+
+const (
+	kindOp     nodeKind = iota // interior ALU node
+	kindInput                  // buffered input operand (load result or live-in)
+	kindZero                   // the hardwired zero register
+	kindOpaque                 // unrecomputable value
+)
+
+type node struct {
+	kind nodeKind
+	op   isa.Op
+	size uint8 // saturating unrolled instruction count
+	a    Ref
+	b    Ref
+	c    Ref
+	imm  int64
+	val  int64 // captured value for kindInput leaves
+}
+
+// Tracker maintains per-core, per-register recipes. It is the simulator's
+// stand-in for the paper's compiler pass plus the input-operand buffer.
+type Tracker struct {
+	arena  []node
+	opaque Ref
+	zero   Ref
+	// recipes[core*NumRegs+reg]
+	recipes []Ref
+	nCores  int
+	// compactLimit triggers arena compaction; live recipes are bounded
+	// (≤ SatSize nodes per register), so compaction keeps memory flat.
+	compactLimit int
+
+	// scratch reused by Compile.
+	slotOf map[Ref]int32
+}
+
+// NewTracker returns a tracker for nCores cores with all registers holding
+// the zero recipe (registers are architecturally zero at program start).
+func NewTracker(nCores int) *Tracker {
+	t := &Tracker{
+		nCores:       nCores,
+		recipes:      make([]Ref, nCores*isa.NumRegs),
+		compactLimit: 1 << 20,
+		slotOf:       make(map[Ref]int32),
+	}
+	t.arena = make([]node, 0, 4096)
+	t.opaque = t.push(node{kind: kindOpaque, size: SatSize})
+	t.zero = t.push(node{kind: kindZero, size: 0})
+	for i := range t.recipes {
+		t.recipes[i] = t.zero
+	}
+	return t
+}
+
+func (t *Tracker) push(n node) Ref {
+	t.arena = append(t.arena, n)
+	return Ref(len(t.arena) - 1)
+}
+
+func (t *Tracker) at(r Ref) *node { return &t.arena[r] }
+
+// Recipe returns the recipe of reg on core.
+func (t *Tracker) Recipe(core int, reg isa.Reg) Ref {
+	if reg == 0 {
+		return t.zero
+	}
+	return t.recipes[core*isa.NumRegs+int(reg)]
+}
+
+func (t *Tracker) setRecipe(core int, reg isa.Reg, r Ref) {
+	if reg == 0 {
+		return
+	}
+	t.recipes[core*isa.NumRegs+int(reg)] = r
+	if len(t.arena) >= t.compactLimit {
+		t.compact()
+	}
+}
+
+// Size returns the unrolled instruction count of the recipe (SatSize if
+// saturated/unrecomputable).
+func (t *Tracker) Size(r Ref) int { return int(t.at(r).size) }
+
+// OnLoad records that a load wrote val into rd: the recipe becomes a
+// buffered-input leaf capturing the loaded value (loads cut Slices and
+// their results are input operands, paper §III-A / Fig. 3).
+func (t *Tracker) OnLoad(core int, rd isa.Reg, val int64) {
+	t.setRecipe(core, rd, t.push(node{kind: kindInput, val: val}))
+}
+
+// SetLiveIn marks rd as holding an externally-produced value val (e.g.
+// restored from a checkpoint). Like a load result, it becomes a buffered
+// input leaf.
+func (t *Tracker) SetLiveIn(core int, rd isa.Reg, val int64) {
+	t.setRecipe(core, rd, t.push(node{kind: kindInput, val: val}))
+}
+
+// ResetCore resets every register of core to input leaves capturing vals
+// (vals[0] is ignored; r0 stays the zero recipe).
+func (t *Tracker) ResetCore(core int, vals *[isa.NumRegs]int64) {
+	for r := 1; r < isa.NumRegs; r++ {
+		t.recipes[core*isa.NumRegs+r] = t.push(node{kind: kindInput, val: vals[r]})
+	}
+	if len(t.arena) >= t.compactLimit {
+		t.compact()
+	}
+}
+
+// OnALU updates rd's recipe for the executed ALU instruction in.
+func (t *Tracker) OnALU(core int, in isa.Instr) {
+	rd, ok := in.DstReg()
+	if !ok {
+		return
+	}
+	var a, b, c Ref = noRef, noRef, noRef
+	switch in.Op {
+	case isa.LI, isa.LUI:
+		// No register sources.
+	case isa.MOV, isa.FNEG, isa.FABS, isa.FSQRT, isa.CVTF, isa.CVTI,
+		isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+		a = t.Recipe(core, in.Rs)
+	case isa.FMA:
+		a = t.Recipe(core, in.Rs)
+		b = t.Recipe(core, in.Rt)
+		c = t.Recipe(core, in.Rd)
+	default:
+		a = t.Recipe(core, in.Rs)
+		b = t.Recipe(core, in.Rt)
+	}
+	size := 1
+	for _, ch := range [3]Ref{a, b, c} {
+		if ch == noRef {
+			continue
+		}
+		n := t.at(ch)
+		if n.kind == kindOpaque {
+			t.setRecipe(core, rd, t.opaque)
+			return
+		}
+		size += int(n.size)
+	}
+	if size >= SatSize {
+		t.setRecipe(core, rd, t.opaque)
+		return
+	}
+	t.setRecipe(core, rd, t.push(node{
+		kind: kindOp, op: in.Op, size: uint8(size),
+		a: a, b: b, c: c, imm: in.Imm,
+	}))
+}
+
+// MarkOpaque forces rd's recipe to the unrecomputable sentinel.
+func (t *Tracker) MarkOpaque(core int, rd isa.Reg) {
+	t.setRecipe(core, rd, t.opaque)
+}
+
+// ArenaLen reports the number of live arena nodes (diagnostics/tests).
+func (t *Tracker) ArenaLen() int { return len(t.arena) }
+
+// compact rebuilds the arena keeping only nodes reachable from register
+// recipes. Reachability is bounded: every live recipe has tree size
+// < SatSize, so the compacted arena is small regardless of execution length.
+func (t *Tracker) compact() {
+	newArena := make([]node, 0, 4096)
+	newArena = append(newArena, t.arena[t.opaque], t.arena[t.zero])
+	remap := make(map[Ref]Ref, 1024)
+	remap[t.opaque] = 0
+	remap[t.zero] = 1
+
+	var move func(r Ref) Ref
+	move = func(r Ref) Ref {
+		if nr, ok := remap[r]; ok {
+			return nr
+		}
+		n := t.arena[r] // copy
+		if n.a != noRef {
+			n.a = move(n.a)
+		}
+		if n.b != noRef {
+			n.b = move(n.b)
+		}
+		if n.c != noRef {
+			n.c = move(n.c)
+		}
+		newArena = append(newArena, n)
+		nr := Ref(len(newArena) - 1)
+		remap[r] = nr
+		return nr
+	}
+	for i, r := range t.recipes {
+		t.recipes[i] = move(r)
+	}
+	t.arena = newArena
+	t.opaque = 0
+	t.zero = 1
+	if len(t.arena)*2 > t.compactLimit {
+		t.compactLimit = len(t.arena) * 2
+	}
+}

@@ -1,0 +1,144 @@
+// Package stats provides the small table/metric toolkit the experiment
+// harness uses to render paper-style tables and figure series.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// AddRow appends a row; cells beyond len(Cols) are dropped, missing cells
+// are blank-padded at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table, column-aligned.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width, cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", width, cell)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// OverheadPct returns (value-base)/base in percent.
+func OverheadPct(value, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (value - base) / base * 100
+}
+
+// ReductionPct returns (from-to)/from in percent: how much `to` improves
+// on `from`.
+func ReductionPct(from, to float64) float64 {
+	if from == 0 {
+		return 0
+	}
+	return (from - to) / from * 100
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs and its index (0, -1 for empty input).
+func Max(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		return 0, -1
+	}
+	best, at := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// RenderCSV writes the table as CSV (title and notes as comment lines),
+// for downstream plotting.
+func (t *Table) RenderCSV(w io.Writer) {
+	cw := csv.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	cw.Write(t.Cols)
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Cols))
+		copy(padded, row)
+		cw.Write(padded)
+	}
+	cw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Cols: []string{"a", "long-col"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("yyyy", "22")
+	tab.AddNote("hello %d", 42)
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, want := range []string{"T\n=", "a", "long-col", "yyyy", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderPadsShortRows(t *testing.T) {
+	tab := &Table{Cols: []string{"a", "b", "c"}}
+	tab.AddRow("only-one")
+	var b strings.Builder
+	tab.Render(&b) // must not panic
+	if !strings.Contains(b.String(), "only-one") {
+		t.Error("row lost")
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	if got := OverheadPct(150, 100); got != 50 {
+		t.Errorf("OverheadPct = %v", got)
+	}
+	if got := OverheadPct(100, 0); got != 0 {
+		t.Errorf("OverheadPct with zero base = %v", got)
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if got := ReductionPct(100, 75); got != 25 {
+		t.Errorf("ReductionPct = %v", got)
+	}
+	if got := ReductionPct(0, 10); got != 0 {
+		t.Errorf("ReductionPct with zero from = %v", got)
+	}
+	if got := ReductionPct(100, 120); got != -20 {
+		t.Errorf("negative reduction = %v", got)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	v, i := Max([]float64{1, 5, 3})
+	if v != 5 || i != 1 {
+		t.Errorf("Max = %v at %d", v, i)
+	}
+	if _, i := Max(nil); i != -1 {
+		t.Errorf("Max(nil) index = %d", i)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(12.345); got != "12.35" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{Title: "T", Cols: []string{"a", "b"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("short")
+	tab.AddNote("n")
+	var b strings.Builder
+	tab.RenderCSV(&b)
+	out := b.String()
+	for _, want := range []string{"# T\n", "a,b\n", "x,1\n", "short,\n", "# n\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

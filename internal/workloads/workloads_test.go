@@ -1,0 +1,133 @@
+package workloads
+
+import (
+	"testing"
+
+	"acr/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"bt", "cg", "dc", "ft", "is", "lu", "mg", "sp"}
+	if len(names) != len(want) {
+		t.Fatalf("benchmarks = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("benchmarks = %v, want %v", names, want)
+		}
+	}
+	if _, err := ByName("ep"); err == nil {
+		t.Error("ep must be excluded, as in the paper")
+	}
+	b, err := ByName("is")
+	if err != nil || b.Threshold != 5 {
+		t.Errorf("is threshold = %d, want 5 (paper §V-D1)", b.Threshold)
+	}
+	b, _ = ByName("bt")
+	if b.Threshold != 10 {
+		t.Errorf("bt threshold = %d, want 10", b.Threshold)
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	for _, n := range []string{"S", "W", "A", "s", "w", "a"} {
+		if _, err := ClassByName(n); err != nil {
+			t.Errorf("class %q: %v", n, err)
+		}
+	}
+	if _, err := ClassByName("X"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestAllProgramsValidate(t *testing.T) {
+	for _, bench := range All() {
+		for _, threads := range []int{4, 8} {
+			p := bench.Build(threads, ClassS)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%d: %v", bench.Name, threads, err)
+			}
+			if p.DataWords == 0 {
+				t.Errorf("%s: no data", bench.Name)
+			}
+		}
+	}
+}
+
+func TestAllBenchmarksRunToCompletion(t *testing.T) {
+	tiny := Class{Name: "T", N: 16, Iters: 4}
+	for _, bench := range All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			p := bench.Build(4, tiny)
+			m, err := sim.New(sim.DefaultConfig(4), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Instrs == 0 || res.Cycles == 0 {
+				t.Errorf("empty run: %+v", res)
+			}
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	tiny := Class{Name: "T", N: 16, Iters: 4}
+	for _, bench := range All() {
+		p1 := bench.Build(4, tiny)
+		m1, _ := sim.New(sim.DefaultConfig(4), p1)
+		r1, err := m1.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		p2 := bench.Build(4, tiny)
+		m2, _ := sim.New(sim.DefaultConfig(4), p2)
+		r2, err := m2.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		if r1.Cycles != r2.Cycles || r1.Instrs != r2.Instrs {
+			t.Errorf("%s: non-deterministic (%d/%d vs %d/%d)",
+				bench.Name, r1.Cycles, r1.Instrs, r2.Cycles, r2.Instrs)
+		}
+	}
+}
+
+// TestCommunicationShapes checks the coordination property each kernel's
+// doc comment claims: bt/cg/sp communicate all-to-all (one group), the
+// others decompose.
+func TestCommunicationShapes(t *testing.T) {
+	tiny := Class{Name: "T", N: 16, Iters: 4}
+	allToAll := map[string]bool{"bt": true, "cg": true, "sp": true, "lu": true}
+	for _, bench := range All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			p := bench.Build(4, tiny)
+			m, err := sim.New(sim.DefaultConfig(4), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			groups := m.Mem().CommGroups()
+			if allToAll[bench.Name] {
+				// lu chains all cores; bt/cg/sp reduce all-to-all.
+				if len(groups) != 1 {
+					t.Errorf("%s: expected one communication component, got %d (%b)",
+						bench.Name, len(groups), groups)
+				}
+			} else {
+				if len(groups) < 2 {
+					t.Errorf("%s: expected decomposed communication, got %b",
+						bench.Name, groups)
+				}
+			}
+		})
+	}
+}
