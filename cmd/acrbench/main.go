@@ -26,6 +26,7 @@ func main() {
 	threads := flag.Int("threads", 8, "thread/core count")
 	class := flag.String("class", "W", "problem class (S, W, A)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jobs := flag.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cl, err := workloads.ClassByName(*class)
@@ -34,6 +35,7 @@ func main() {
 	}
 	p := bench.Params{Threads: *threads, Class: cl}
 	r := bench.NewRunner()
+	r.Workers = *jobs
 
 	type gen func() (*stats.Table, error)
 	experiments := []struct {

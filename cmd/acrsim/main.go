@@ -47,14 +47,17 @@ func main() {
 
 	p := bench.Params{Threads: *threads, Class: cl}
 	r := bench.NewRunner()
-	base, err := r.Baseline(*benchName, p)
+	// The NoCkpt baseline and the configured run go through the parallel
+	// driver; the memoising cache deduplicates the baseline the
+	// checkpointed run calibrates against.
+	out, err := r.RunAll([]bench.Job{
+		{Bench: *benchName, Params: p, Spec: bench.NoCkpt},
+		{Bench: *benchName, Params: p, Spec: spec},
+	})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := r.Run(*benchName, p, spec)
-	if err != nil {
-		fatal(err)
-	}
+	base, res := out[0], out[1]
 
 	fmt.Printf("benchmark    %s (class %s, %d threads)\n", *benchName, cl.Name, *threads)
 	fmt.Printf("config       %s\n", spec)

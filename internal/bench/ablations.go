@@ -21,6 +21,11 @@ func (r *Runner) AblationPolicy(p Params) (*stats.Table, error) {
 		Cols: []string{"bench", "thr size-red%", "cost size-red%",
 			"thr time-ovh%", "cost time-ovh%"},
 	}
+	costSpec := ReCkptNE
+	costSpec.CostPolicy = true
+	if err := r.warm(p, NoCkpt, ReCkptNE, costSpec); err != nil {
+		return nil, err
+	}
 	for _, name := range BenchNames() {
 		base, err := r.Baseline(name, p)
 		if err != nil {
@@ -60,6 +65,15 @@ func (r *Runner) AblationAddrMap(p Params) (*stats.Table, error) {
 		Title: "Ablation: checkpoint size reduction (%) vs AddrMap capacity (records)",
 		Cols:  cols,
 	}
+	specs := make([]Spec, 0, len(caps))
+	for _, c := range caps {
+		spec := ReCkptNE
+		spec.MapCapacity = c
+		specs = append(specs, spec)
+	}
+	if err := r.warm(p, specs...); err != nil {
+		return nil, err
+	}
 	for _, name := range BenchNames() {
 		row := []string{name}
 		for _, c := range caps {
@@ -92,6 +106,15 @@ func (r *Runner) AblationDetect(p Params) (*stats.Table, error) {
 		Title: "Ablation: ReCkpt_E time overhead (%) vs detection latency (fraction of period)",
 		Cols:  cols,
 	}
+	specs := []Spec{NoCkpt}
+	for _, f := range fracs {
+		spec := ReCkptE
+		spec.DetectFrac = f
+		specs = append(specs, spec)
+	}
+	if err := r.warm(p, specs...); err != nil {
+		return nil, err
+	}
 	for _, name := range BenchNames() {
 		base, err := r.Baseline(name, p)
 		if err != nil {
@@ -121,6 +144,11 @@ func (r *Runner) AblationAdaptive(p Params) (*stats.Table, error) {
 		Title: "Ablation: uniform vs recomputation-aware checkpoint placement (ReCkpt_NE)",
 		Cols: []string{"bench", "uniform ckpts", "adaptive ckpts",
 			"uniform ovh%", "adaptive ovh%", "uniform red%", "adaptive red%"},
+	}
+	adaSpec := ReCkptNE
+	adaSpec.Adaptive = true
+	if err := r.warm(p, NoCkpt, ReCkptNE, adaSpec); err != nil {
+		return nil, err
 	}
 	for _, name := range BenchNames() {
 		base, err := r.Baseline(name, p)

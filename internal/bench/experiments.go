@@ -72,6 +72,9 @@ func (r *Runner) figOverheads(p Params, energy bool) (*stats.Table, error) {
 			"redNE%", "redE%"},
 	}
 	specs := []Spec{CkptNE, CkptE, ReCkptNE, ReCkptE}
+	if err := r.warm(p, append([]Spec{NoCkpt}, specs...)...); err != nil {
+		return nil, err
+	}
 	ovh := make([]map[string]float64, len(specs))
 	for i, s := range specs {
 		m, err := r.overheads(p, s, energy)
@@ -108,6 +111,9 @@ func (r *Runner) Fig8(p Params) (*stats.Table, error) {
 	t := &stats.Table{
 		Title: "Fig. 8: % EDP reduction under ReCkpt_NE and ReCkpt_E (w.r.t. Ckpt_NE / Ckpt_E)",
 		Cols:  []string{"bench", "ReCkpt_NE", "ReCkpt_E"},
+	}
+	if err := r.warm(p, NoCkpt, CkptNE, ReCkptNE, CkptE, ReCkptE); err != nil {
+		return nil, err
 	}
 	var ne, e []float64
 	for _, name := range BenchNames() {
@@ -170,6 +176,9 @@ func (r *Runner) Fig9(p Params) (*stats.Table, error) {
 		Title: "Fig. 9: % reduction of checkpoint size under ReCkpt_NE (w.r.t. Ckpt_NE)",
 		Cols:  []string{"bench", "Overall", "Max"},
 	}
+	if err := r.warm(p, ReCkptNE); err != nil {
+		return nil, err
+	}
 	var all []float64
 	for _, name := range BenchNames() {
 		res, err := r.Run(name, p, ReCkptNE)
@@ -193,6 +202,15 @@ func (r *Runner) TableII(p Params) (*stats.Table, error) {
 		Title: "Table II: total checkpoint size reduction (%) w.r.t. Slice length threshold",
 		Cols:  []string{"bench", "10", "20", "30", "40", "50"},
 	}
+	specs := make([]Spec, 0, len(thresholds))
+	for _, th := range thresholds {
+		spec := ReCkptNE
+		spec.Threshold = th
+		specs = append(specs, spec)
+	}
+	if err := r.warm(p, specs...); err != nil {
+		return nil, err
+	}
 	for _, name := range BenchNames() {
 		row := []string{name}
 		for _, th := range thresholds {
@@ -215,6 +233,15 @@ func (r *Runner) TableII(p Params) (*stats.Table, error) {
 // one benchmark (the paper shows bt) across thresholds.
 func (r *Runner) Fig10(p Params, benchName string) (*stats.Table, error) {
 	thresholds := []int{10, 20, 30, 40, 50}
+	jobs := make([]Job, 0, len(thresholds))
+	for _, th := range thresholds {
+		spec := ReCkptNE
+		spec.Threshold = th
+		jobs = append(jobs, Job{Bench: benchName, Params: p, Spec: spec})
+	}
+	if _, err := r.RunAll(jobs); err != nil {
+		return nil, err
+	}
 	cols := []string{"interval"}
 	series := make([][]float64, len(thresholds))
 	maxLen := 0
@@ -264,6 +291,15 @@ func (r *Runner) Fig11(p Params) (*stats.Table, error) {
 		Cols: []string{"bench",
 			"Ckpt 1e", "Re 1e", "Ckpt 2e", "Re 2e", "Ckpt 3e", "Re 3e",
 			"Ckpt 4e", "Re 4e", "Ckpt 5e", "Re 5e"},
+	}
+	specs := []Spec{NoCkpt}
+	for e := 1; e <= 5; e++ {
+		specs = append(specs,
+			Spec{Ckpt: true, Errors: e},
+			Spec{Ckpt: true, Errors: e, Amnesic: true})
+	}
+	if err := r.warm(p, specs...); err != nil {
+		return nil, err
 	}
 	type cell struct{ ck, re float64 }
 	grid := make(map[string][]cell)
@@ -320,6 +356,15 @@ func (r *Runner) Fig12(p Params) (*stats.Table, error) {
 		Title: "Fig. 12: % execution time overhead vs number of checkpoints (w.r.t. NoCkpt)",
 		Cols:  cols,
 	}
+	specs := []Spec{NoCkpt}
+	for _, c := range counts {
+		specs = append(specs,
+			Spec{Ckpt: true, NumCkpts: c},
+			Spec{Ckpt: true, Amnesic: true, NumCkpts: c})
+	}
+	if err := r.warm(p, specs...); err != nil {
+		return nil, err
+	}
 	perCount := make([][]float64, len(counts))
 	for _, name := range BenchNames() {
 		base, err := r.Baseline(name, p)
@@ -364,6 +409,13 @@ func (r *Runner) Fig13(p Params) (*stats.Table, error) {
 		{ReCkptNELoc, ReCkptNE},
 		{ReCkptELoc, ReCkptE},
 	}
+	var specs []Spec
+	for _, pair := range pairs {
+		specs = append(specs, pair[0], pair[1])
+	}
+	if err := r.warm(p, specs...); err != nil {
+		return nil, err
+	}
 	for _, name := range BenchNames() {
 		row := []string{name}
 		for _, pair := range pairs {
@@ -394,6 +446,18 @@ func (r *Runner) Scalability(class Params) (*stats.Table, error) {
 	t := &stats.Table{
 		Title: "Sec. V-D4: scalability — Ckpt_NE overhead, ReCkpt_NE time-overhead reduction and EDP reduction",
 		Cols:  cols,
+	}
+	var jobs []Job
+	for _, tc := range threadCounts {
+		p := Params{Threads: tc, Class: class.Class}
+		for _, name := range BenchNames() {
+			for _, s := range []Spec{NoCkpt, CkptNE, ReCkptNE} {
+				jobs = append(jobs, Job{Bench: name, Params: p, Spec: s})
+			}
+		}
+	}
+	if _, err := r.RunAll(jobs); err != nil {
+		return nil, err
 	}
 	for _, name := range BenchNames() {
 		row := []string{name}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"acr/internal/sim"
+)
+
+// Job names one cell of an experiment grid: a benchmark at a scale under a
+// configuration.
+type Job struct {
+	Bench  string
+	Params Params
+	Spec   Spec
+}
+
+// RunAll executes the jobs through the memoised cache with a worker pool
+// bounded by Runner.Workers (GOMAXPROCS when zero). Each sim.Machine is
+// fully independent, so the grid parallelises without coordination beyond
+// the cache; results come back in job order and are bit-identical to a
+// serial execution (the simulator is deterministic, and memoisation
+// deduplicates shared cells such as the NoCkpt baselines). On failure the
+// first failing job in job order is reported, independent of scheduling.
+func (r *Runner) RunAll(jobs []Job) ([]sim.Result, error) {
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			res, err := r.Run(j.Bench, j.Params, j.Spec)
+			if err != nil {
+				return nil, fmt.Errorf("job %d (%s %v): %w", i, j.Bench, j.Spec, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				results[i], errs[i] = r.Run(j.Bench, j.Params, j.Spec)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("job %d (%s %v): %w", i, jobs[i].Bench, jobs[i].Spec, err)
+		}
+	}
+	return results, nil
+}
+
+// warm pre-executes specs × the eight paper benchmarks through RunAll so a
+// generator's subsequent sequential Run calls read memoised results. The
+// experiment generators call it first: table assembly stays simple and
+// ordered while the simulations — the actual cost — run in parallel.
+func (r *Runner) warm(p Params, specs ...Spec) error {
+	jobs := make([]Job, 0, len(specs)*len(BenchNames()))
+	for _, name := range BenchNames() {
+		for _, s := range specs {
+			jobs = append(jobs, Job{Bench: name, Params: p, Spec: s})
+		}
+	}
+	_, err := r.RunAll(jobs)
+	return err
+}

@@ -6,6 +6,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"acr/internal/ckpt"
 	acr "acr/internal/core"
@@ -102,28 +103,50 @@ type runKey struct {
 }
 
 // Runner executes configurations with memoisation: figures 6–8 share runs,
-// and every checkpointed run shares its NoCkpt baseline.
+// and every checkpointed run shares its NoCkpt baseline. The cache is safe
+// for concurrent use — RunAll executes experiment grids through a worker
+// pool — and deduplicates in-flight work: concurrent requests for the same
+// key block on one execution instead of repeating it.
 type Runner struct {
-	cache map[runKey]sim.Result
+	// Workers bounds RunAll's worker pool; 0 means GOMAXPROCS.
+	Workers int
+
+	mu    sync.Mutex
+	cache map[runKey]*runEntry
+}
+
+// runEntry is one memoised cell: the once gate serialises computation so a
+// key is simulated exactly once no matter how many goroutines request it.
+type runEntry struct {
+	once sync.Once
+	res  sim.Result
+	err  error
 }
 
 // NewRunner returns an empty-cache runner.
 func NewRunner() *Runner {
-	return &Runner{cache: make(map[runKey]sim.Result)}
+	return &Runner{cache: make(map[runKey]*runEntry)}
 }
 
 // Run executes benchmark bench under spec at the given scale, memoised.
+// It is safe to call concurrently; dependent runs (a checkpointed spec
+// calibrating against its NoCkpt baseline) nest through distinct cache
+// entries, so the once gates cannot deadlock.
 func (r *Runner) Run(benchName string, p Params, spec Spec) (sim.Result, error) {
-	key := runKey{benchName, p.Threads, p.Class.Name, spec}
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	e := r.entry(runKey{benchName, p.Threads, p.Class.Name, spec})
+	e.once.Do(func() { e.res, e.err = r.run(benchName, p, spec) })
+	return e.res, e.err
+}
+
+func (r *Runner) entry(key runKey) *runEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.cache[key]
+	if e == nil {
+		e = &runEntry{}
+		r.cache[key] = e
 	}
-	res, err := r.run(benchName, p, spec)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	r.cache[key] = res
-	return res, nil
+	return e
 }
 
 // Baseline returns the NoCkpt run for the benchmark at the given scale.

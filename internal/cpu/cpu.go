@@ -77,6 +77,14 @@ type Core struct {
 	PC    int
 	State State
 
+	// OnState, when non-nil, observes every scheduling-state transition
+	// (BARRIER/HALT retirement, barrier release, recovery roll-back). The
+	// sim scheduler uses it to maintain incremental run-state counters
+	// instead of rescanning every core per instruction. Transitions are
+	// rare (events, not instructions), so the indirect call is off the
+	// hot path.
+	OnState func(c *Core, from, to State)
+
 	// quarters is the local clock in quarter-cycle units.
 	quarters int64
 	// Instrs counts retired instructions.
@@ -111,6 +119,21 @@ func (c *Core) AddCycles(n int64) { c.quarters += n * qPerCycle }
 // checkpoint release time).
 func (c *Core) SetCycles(n int64) { c.quarters = n * qPerCycle }
 
+// SetState transitions the core's scheduling state, notifying OnState.
+// All state changes — the core's own BARRIER/HALT retirement as well as the
+// machine's barrier releases and recovery roll-backs — go through here so
+// incremental counters never drift from the cores.
+func (c *Core) SetState(s State) {
+	if c.State == s {
+		return
+	}
+	from := c.State
+	c.State = s
+	if c.OnState != nil {
+		c.OnState(c, from, s)
+	}
+}
+
 // Arch captures the core's architectural state.
 func (c *Core) Arch() ArchState {
 	return ArchState{Regs: c.Regs, PC: c.PC, State: c.State}
@@ -120,7 +143,7 @@ func (c *Core) Arch() ArchState {
 func (c *Core) Restore(a *ArchState) {
 	c.Regs = a.Regs
 	c.PC = a.PC
-	c.State = a.State
+	c.SetState(a.State)
 }
 
 // Step executes one instruction. The tracker may be nil (recipe tracking is
@@ -198,11 +221,11 @@ func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hoo
 		c.quarters++
 
 	case in.Op == isa.BARRIER:
-		c.State = AtBarrier
+		c.SetState(AtBarrier)
 		c.quarters++
 
 	case in.Op == isa.HALT:
-		c.State = Halted
+		c.SetState(Halted)
 		c.quarters++
 
 	default:

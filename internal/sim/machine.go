@@ -4,6 +4,14 @@
 // fault model (fault). It plays the role Snipersim plays in the paper's
 // evaluation (§IV).
 //
+// The machine is layered: a quantum-batched scheduler (sched.go) picks
+// which core executes and for how long; a checkpoint coordinator
+// (coordinator.go) owns boundary placement and establishment; a recovery
+// engine (recovery.go) owns roll-back and replay; observers (observer.go)
+// receive the event stream. Machine composes the engines behind small
+// interfaces and keeps only the glue: the run loop, barrier release, and
+// result assembly.
+//
 // Scheduling is deterministic: among runnable cores, the one with the
 // smallest local clock executes next (ties broken by core id); barriers
 // synchronise all live cores; checkpoint boundaries and error detections
@@ -18,7 +26,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 
 	"acr/internal/ckpt"
 	acr "acr/internal/core"
@@ -72,6 +79,10 @@ type Config struct {
 
 	// RecordTimeline retains checkpoint/recovery events in the Result.
 	RecordTimeline bool
+	// Observers receive the machine's event stream alongside the
+	// built-in timeline recorder. Observers must be deterministic and
+	// must not mutate machine state.
+	Observers []Observer
 }
 
 // DefaultConfig returns the paper's Table I machine with checkpointing
@@ -148,7 +159,9 @@ type Event struct {
 	Detail int64
 }
 
-// Machine is a runnable simulated machine.
+// Machine is a runnable simulated machine. It composes the scheduling,
+// checkpointing and recovery layers; the substrate handles (cores, memory,
+// meter, tracker) are shared with the engines.
 type Machine struct {
 	cfg     Config
 	program *prog.Program
@@ -158,16 +171,15 @@ type Machine struct {
 	tracker *slice.Tracker
 	handler *acr.Handler
 	mgr     *ckpt.Manager
-	faults  *fault.Schedule
 
-	nextCkpt   int64
-	ckptsDone  int64
-	roiPending bool
-	defers     int
-	timeline   []Event
-	barriers   int64
-	errIndex   int
-	steps      int64
+	sched     *scheduler
+	coord     coordinator
+	recov     recoverer
+	observers []Observer
+	timeline  *timelineRecorder
+
+	barriers int64
+	steps    int64
 }
 
 // New builds a machine for program p. The program is validated; its Init
@@ -177,10 +189,13 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		return nil, err
 	}
 	if cfg.Cores <= 0 {
-		return nil, errors.New("sim: config needs at least one core")
+		return nil, fmt.Errorf("sim: config needs at least one core (got %d)", cfg.Cores)
+	}
+	if cfg.Energy == nil {
+		return nil, errors.New("sim: config needs an energy model (Config.Energy is nil; start from DefaultConfig)")
 	}
 	if cfg.Checkpointing && cfg.PeriodCycles <= 0 {
-		return nil, errors.New("sim: checkpointing enabled with non-positive period")
+		return nil, fmt.Errorf("sim: checkpointing enabled with non-positive period %d", cfg.PeriodCycles)
 	}
 	if cfg.Checkpointing && cfg.MaxCheckpoints == 0 {
 		cfg.MaxCheckpoints = 1 << 62 // unlimited
@@ -194,7 +209,7 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		}
 	}
 
-	m := &Machine{cfg: cfg, program: p, faults: cfg.Errors}
+	m := &Machine{cfg: cfg, program: p}
 	m.meter = energy.NewMeter(cfg.Energy)
 	words := p.DataWords
 	if words == 0 {
@@ -215,6 +230,7 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 	for i := range m.cores {
 		m.cores[i] = cpu.New(i, p.Entry, cfg.Cores)
 	}
+	m.sched = newScheduler(m.cores)
 
 	if cfg.Amnesic {
 		if !cfg.Checkpointing {
@@ -227,10 +243,19 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 			m.tracker.ResetCore(c.ID, &c.Regs)
 		}
 	}
+	m.coord = noCheckpoints{}
+	m.recov = noErrors{}
 	if cfg.Checkpointing {
 		m.mgr = ckpt.NewManager(cfg.Mode, m.sys, m.meter, m.handler, m.archStates())
-		m.nextCkpt = cfg.PeriodCycles
-		m.roiPending = cfg.ROIStartCycles > 0
+		m.coord = newCkptCoordinator(m)
+	}
+	if cfg.Errors != nil {
+		m.recov = newRecoveryEngine(m, cfg.Errors)
+	}
+	m.observers = append(m.observers, cfg.Observers...)
+	if cfg.RecordTimeline {
+		m.timeline = &timelineRecorder{}
+		m.observers = append(m.observers, m.timeline)
 	}
 	return m, nil
 }
@@ -272,286 +297,86 @@ func barrierCycles(n int) int64 { return 40 + 4*int64(n) }
 const handlerCycles = 25
 
 // Run executes the program to completion and returns the run summary.
+//
+// The loop is event-paced, not instruction-paced: each iteration picks the
+// minimum-clock core and either handles a timed event that its horizon has
+// reached (checkpoint boundary or error detection, in timestamp order) or
+// executes the core in a tight quantum until the earliest of the next
+// event time and the point where the scheduling choice must be revisited.
+// Within a quantum only the picked core's clock moves, so the instruction
+// interleaving — and therefore every statistic — is bit-identical to the
+// per-instruction scheduling it replaces.
 func (m *Machine) Run() (Result, error) {
 	for {
-		running, atBarrier, halted := m.census()
-		if halted == len(m.cores) {
+		if m.sched.halted() == len(m.cores) {
 			break
 		}
-		if running == 0 && atBarrier > 0 {
-			m.releaseBarrier()
-			continue
-		}
-		if running == 0 {
+		if m.sched.running() == 0 {
+			if m.sched.atBarrier() > 0 {
+				m.releaseBarrier()
+				continue
+			}
 			return Result{}, errors.New("sim: no runnable cores (scheduling bug)")
 		}
 
-		c := m.minRunningCore()
+		c, bound := m.sched.pick()
 		horizon := c.Cycles()
 
 		// Timed events up to the horizon, in timestamp order.
-		ckptTime, haveCkpt := m.pendingCheckpoint(horizon)
-		errOccur, errDetect, haveErr := m.pendingError(horizon)
+		ckptTime, haveCkpt := m.coord.next()
+		haveCkpt = haveCkpt && ckptTime <= horizon
+		errOccur, errDetect, haveErr := m.recov.next()
+		haveErr = haveErr && errDetect <= horizon
 		switch {
 		case haveCkpt && (!haveErr || ckptTime <= errDetect):
-			if m.deferCheckpoint() {
-				continue
-			}
-			m.doCheckpoint()
+			m.coord.onBoundary()
 			continue
 		case haveErr:
-			if err := m.doRecovery(errOccur, errDetect); err != nil {
+			if err := m.recov.recover(errOccur, errDetect); err != nil {
 				return Result{}, err
 			}
 			continue
 		}
 
-		c.Step(m.program, m.sys, m.tracker, m, m.meter)
-		m.steps++
-		if m.steps > m.cfg.MaxSteps {
-			return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+		// No event before the horizon: run the quantum. The bound shrinks
+		// to the next armed event so the event fires exactly when the
+		// minimum clock reaches it, as before.
+		if t, ok := m.coord.next(); ok && t < bound {
+			bound = t
+		}
+		if _, detect, ok := m.recov.next(); ok && detect < bound {
+			bound = detect
+		}
+		for c.State == cpu.Running && c.Cycles() < bound {
+			c.Step(m.program, m.sys, m.tracker, m, m.meter)
+			m.steps++
+			if m.steps > m.cfg.MaxSteps {
+				return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+			}
 		}
 	}
 	return m.result(), nil
 }
 
-func (m *Machine) census() (running, atBarrier, halted int) {
-	for _, c := range m.cores {
-		switch c.State {
-		case cpu.Running:
-			running++
-		case cpu.AtBarrier:
-			atBarrier++
-		default:
-			halted++
-		}
-	}
-	return
-}
-
-func (m *Machine) minRunningCore() *cpu.Core {
-	var best *cpu.Core
-	for _, c := range m.cores {
-		if c.State != cpu.Running {
-			continue
-		}
-		if best == nil || c.Cycles() < best.Cycles() {
-			best = c
-		}
-	}
-	return best
-}
-
-func (m *Machine) pendingCheckpoint(horizon int64) (int64, bool) {
-	if m.mgr == nil || (!m.roiPending && m.ckptsDone >= m.cfg.MaxCheckpoints) {
-		return 0, false
-	}
-	if horizon >= m.nextCkpt {
-		return m.nextCkpt, true
-	}
-	return 0, false
-}
-
-func (m *Machine) pendingError(horizon int64) (occur, detect int64, ok bool) {
-	occur, detect, ok = m.faults.Pending()
-	if !ok || detect > horizon {
-		return 0, 0, false
-	}
-	return occur, detect, true
-}
-
 // releaseBarrier resumes all barrier-waiting cores at the synchronised time.
 func (m *Machine) releaseBarrier() {
-	t := int64(0)
-	n := 0
-	for _, c := range m.cores {
-		if c.State == cpu.AtBarrier {
-			n++
-			if c.Cycles() > t {
-				t = c.Cycles()
-			}
-		}
-	}
+	t, n := m.sched.syncTime()
 	t += barrierCycles(n)
 	for _, c := range m.cores {
 		if c.State == cpu.AtBarrier {
 			c.SetCycles(t)
-			c.State = cpu.Running
+			c.SetState(cpu.Running)
 		}
 	}
 	m.meter.Add(energy.BarrierSync, uint64(n))
 	m.barriers++
 }
 
-// deferCheckpoint reports whether adaptive placement wants to push the
-// pending boundary out, and performs the deferral.
-func (m *Machine) deferCheckpoint() bool {
-	if !m.cfg.AdaptivePlacement || m.roiPending || m.defers >= 3 {
-		return false
-	}
-	ivs := m.mgr.Intervals()
-	if len(ivs) < 3 {
-		return false
-	}
-	var logged, omitted, size float64
-	for _, iv := range ivs {
-		logged += float64(iv.Logged)
-		omitted += float64(iv.Omitted)
-		size += float64(iv.Size())
-	}
-	if logged+omitted == 0 {
-		return false
-	}
-	avgRatio := omitted / (logged + omitted)
-	open := m.mgr.OpenInterval()
-	if float64(open.Size()) < size/float64(len(ivs))/2 {
-		// Too little volume yet to judge the region.
-		return false
-	}
-	ratio := float64(open.Omitted) / float64(open.Size())
-	if ratio <= avgRatio+0.02 {
-		return false
-	}
-	m.defers++
-	m.record(Event{Time: m.nextCkpt, Kind: EvDefer})
-	m.nextCkpt += m.cfg.PeriodCycles / 4
-	return true
-}
-
+// record publishes an event to every attached observer.
 func (m *Machine) record(e Event) {
-	if m.cfg.RecordTimeline {
-		m.timeline = append(m.timeline, e)
+	for _, o := range m.observers {
+		o.OnEvent(e)
 	}
-}
-
-// doCheckpoint establishes a coordinated checkpoint (global or local).
-func (m *Machine) doCheckpoint() {
-	// Establishment start: the latest point any live core has reached.
-	tMax := int64(0)
-	for _, c := range m.cores {
-		if c.State != cpu.Halted && c.Cycles() > tMax {
-			tMax = c.Cycles()
-		}
-	}
-	info := m.mgr.Establish(tMax, m.archStates())
-
-	maxRelease := tMax
-	for _, g := range info.Groups {
-		// Group start time: the latest member (under Global the single
-		// group makes this tMax, i.e. full coordination skew).
-		tg := int64(0)
-		for _, c := range m.cores {
-			if g.Mask&(1<<uint(c.ID)) != 0 && c.State != cpu.Halted && c.Cycles() > tg {
-				tg = c.Cycles()
-			}
-		}
-		stall := barrierCycles(g.Cores) + handlerCycles +
-			m.sys.TransferCycles(g.FlushedWords+g.ArchWords+g.LogWords)
-		release := tg + stall
-		if release > maxRelease {
-			maxRelease = release
-		}
-		for _, c := range m.cores {
-			if g.Mask&(1<<uint(c.ID)) != 0 && c.State != cpu.Halted {
-				c.SetCycles(release)
-			}
-		}
-		m.meter.Add(energy.BarrierSync, uint64(g.Cores))
-		m.meter.Add(energy.HandlerOp, uint64(g.Cores))
-	}
-
-	switch {
-	case m.roiPending && tMax >= m.cfg.ROIStartCycles:
-		// The first checkpoint inside the region of interest:
-		// statistics are measured from here on. Checkpoints taken
-		// during warm-up kept the AddrMap and log bits in steady
-		// state but are not reported and not budgeted.
-		m.roiPending = false
-		m.mgr.ResetStats()
-	case m.roiPending:
-		// Warm-up checkpoint: unbudgeted.
-	default:
-		m.ckptsDone++
-	}
-	m.defers = 0
-	m.record(Event{Time: tMax, Kind: EvCheckpoint, Detail: int64(m.mgr.Stats().LoggedWords)})
-	// Boundaries continue on the wall clock; if establishment (or a
-	// recovery) overshot several boundaries, take one checkpoint now and
-	// resume the cadence from here rather than firing a burst. The next
-	// boundary must land strictly after every core has resumed, or a
-	// period shorter than the establishment stall would livelock the
-	// machine in back-to-back checkpoints.
-	m.nextCkpt += m.cfg.PeriodCycles
-	if m.nextCkpt <= maxRelease {
-		m.nextCkpt = maxRelease + 1
-	}
-}
-
-// doRecovery rolls the machine back to the most recent safe checkpoint,
-// recomputing amnesically omitted values, and charges the recovery stall.
-func (m *Machine) doRecovery(errOccur, errDetect int64) error {
-	target, err := m.mgr.SafeTarget(errOccur)
-	if err != nil {
-		return err
-	}
-	info, err := m.mgr.Rollback(target, len(m.cores))
-	if err != nil {
-		return err
-	}
-
-	// Detection point: every live core has at least reached errDetect.
-	tDetect := errDetect
-	for _, c := range m.cores {
-		if c.State != cpu.Halted && c.Cycles() > tDetect {
-			tDetect = c.Cycles()
-		}
-	}
-
-	// The group that must stall for the roll-back: everyone under Global;
-	// the erring core's communication component under Local (the paper's
-	// coordinated-local recovery, §V-E). The erring core rotates
-	// deterministically across injected errors.
-	groupMask := m.sys.AllCoresMask()
-	if m.mgr.Mode() == ckpt.Local {
-		errCore := m.errIndex % len(m.cores)
-		for _, g := range m.sys.CommGroups() {
-			if g&(1<<uint(errCore)) != 0 {
-				groupMask = g
-				break
-			}
-		}
-	}
-	m.errIndex++
-
-	maxRecompute := int64(0)
-	for coreID, rc := range info.RecomputeCycles {
-		if groupMask&(1<<uint(coreID)) != 0 && rc > maxRecompute {
-			maxRecompute = rc
-		}
-	}
-	stall := handlerCycles + barrierCycles(bits.OnesCount64(groupMask)) +
-		m.sys.TransferCycles(int(info.LogWordsRead+info.WordsRestored)) +
-		maxRecompute
-	release := tDetect + stall
-
-	// Functional roll-back of every core (determinism keeps non-group
-	// cores' re-execution identical under Local; only the stall charge
-	// is confined to the group).
-	for i, c := range m.cores {
-		c.Restore(&target.Arch[i])
-		if groupMask&(1<<uint(c.ID)) != 0 {
-			c.SetCycles(release)
-		} else {
-			c.SetCycles(tDetect)
-		}
-		if m.tracker != nil {
-			m.tracker.ResetCore(c.ID, &c.Regs)
-		}
-	}
-	m.faults.Consume()
-	m.record(Event{Time: errOccur, Kind: EvError})
-	m.record(Event{Time: release, Kind: EvRecovery, Detail: info.WordsRestored})
-	return nil
 }
 
 func (m *Machine) result() Result {
@@ -572,6 +397,8 @@ func (m *Machine) result() Result {
 	if m.handler != nil {
 		r.AddrMap = m.handler.AddrMap().Stats()
 	}
-	r.Timeline = m.timeline
+	if m.timeline != nil {
+		r.Timeline = m.timeline.events
+	}
 	return r
 }

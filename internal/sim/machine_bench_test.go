@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	acr "acr/internal/core"
+)
+
+// BenchmarkMachineRun measures the simulator's hot loop — the quantum-
+// batched scheduler plus core stepping — at the paper's three machine
+// scales, with and without (amnesic) checkpointing. The reported metric is
+// wall-clock per simulated run; sim-MIPS puts it in simulator terms.
+func BenchmarkMachineRun(b *testing.B) {
+	for _, cores := range []int{8, 16, 32} {
+		for _, ckpt := range []bool{false, true} {
+			name := fmt.Sprintf("cores=%d/ckpt=%v", cores, ckpt)
+			b.Run(name, func(b *testing.B) {
+				p := testKernel(cores, 48, 10)
+				cfg := DefaultConfig(cores)
+				if ckpt {
+					// Calibrate the period once so every measured run
+					// takes ~12 checkpoints.
+					m, err := New(cfg, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ref, err := m.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg.Checkpointing = true
+					cfg.Amnesic = true
+					cfg.ACR = acr.Config{Threshold: 10, MapCapacity: 4096 * cores}
+					cfg.PeriodCycles = ref.Cycles / 13
+				}
+				var instrs int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := New(cfg, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := m.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs = res.Instrs
+				}
+				b.StopTimer()
+				if instrs > 0 && b.Elapsed() > 0 {
+					mips := float64(instrs) * float64(b.N) / b.Elapsed().Seconds() / 1e6
+					b.ReportMetric(mips, "sim-MIPS")
+				}
+			})
+		}
+	}
+}

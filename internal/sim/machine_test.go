@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"acr/internal/ckpt"
@@ -335,6 +336,19 @@ func TestConfigValidation(t *testing.T) {
 	c5.Errors = fault.Uniform(1, 1000, 500) // latency > period
 	if _, err := New(c5, p); err == nil {
 		t.Error("detection latency exceeding period accepted")
+	}
+	c6 := DefaultConfig(1)
+	c6.Energy = nil
+	if _, err := New(c6, p); err == nil {
+		t.Error("nil energy model accepted")
+	} else if !strings.Contains(err.Error(), "energy") {
+		t.Errorf("nil-energy error not descriptive: %v", err)
+	}
+	c7 := DefaultConfig(1)
+	c7.Checkpointing = true
+	c7.PeriodCycles = -5
+	if _, err := New(c7, p); err == nil {
+		t.Error("negative period accepted")
 	}
 }
 

@@ -1,0 +1,20 @@
+package sim
+
+// Observer receives machine-level events — checkpoints, deferrals, error
+// detections, recoveries — as they are committed, in timestamp order.
+// Timeline capture (Config.RecordTimeline) is itself an observer; external
+// metering or tracing attaches through Config.Observers instead of inline
+// branches in the engines. Observers must not mutate machine state: the
+// simulation's determinism invariant (bit-identical results for identical
+// configs) is maintained by keeping observation strictly one-way.
+type Observer interface {
+	OnEvent(e Event)
+}
+
+// timelineRecorder is the built-in observer behind Config.RecordTimeline:
+// it retains every event for Result.Timeline.
+type timelineRecorder struct {
+	events []Event
+}
+
+func (t *timelineRecorder) OnEvent(e Event) { t.events = append(t.events, e) }

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+
+	"acr/internal/cpu"
+)
+
+// scheduler implements the machine's deterministic scheduling policy in
+// quantum-batched form. The policy is unchanged from the original
+// per-instruction loop — among runnable cores, the one with the smallest
+// local clock executes next, ties broken by core id — but instead of
+// rescanning every core per retired instruction, the scheduler
+//
+//   - maintains running/barrier/halted populations incrementally through
+//     the cpu.Core.OnState hook (cores change state at barriers, halts and
+//     roll-backs only, so the hook fires per event, not per instruction), and
+//   - computes, once per pick, the quantum bound: the first clock value at
+//     which the choice must be revisited because another running core would
+//     win the min-clock comparison.
+//
+// The run loop then steps the picked core in a tight loop while its clock
+// stays below the bound. Because no other core moves during the quantum,
+// the instruction interleaving is bit-identical to per-instruction
+// rescanning, while the scheduling overhead drops from
+// O(instructions × cores) to O(events × cores).
+type scheduler struct {
+	cores  []*cpu.Core
+	counts [3]int // populations indexed by cpu.State
+}
+
+// unbounded is the quantum bound when no other core constrains the pick
+// (the clock value is unreachable within MaxSteps).
+const unbounded = int64(math.MaxInt64)
+
+// newScheduler attaches the state hook to every core and seeds the
+// population counters.
+func newScheduler(cores []*cpu.Core) *scheduler {
+	s := &scheduler{cores: cores}
+	for _, c := range cores {
+		s.counts[c.State]++
+		c.OnState = s.transition
+	}
+	return s
+}
+
+func (s *scheduler) transition(_ *cpu.Core, from, to cpu.State) {
+	s.counts[from]--
+	s.counts[to]++
+}
+
+func (s *scheduler) running() int   { return s.counts[cpu.Running] }
+func (s *scheduler) atBarrier() int { return s.counts[cpu.AtBarrier] }
+func (s *scheduler) halted() int    { return s.counts[cpu.Halted] }
+
+// pick returns the core to execute next — the running core with the
+// smallest clock, lowest id on ties — and the exclusive quantum bound: the
+// core keeps executing while its clock stays strictly below the bound. A
+// lower-id peer takes over at clock equality, so it bounds at its clock; a
+// higher-id peer loses ties, so it bounds one cycle later. The caller must
+// ensure at least one core is running.
+func (s *scheduler) pick() (*cpu.Core, int64) {
+	var best *cpu.Core
+	for _, c := range s.cores {
+		if c.State != cpu.Running {
+			continue
+		}
+		if best == nil || c.Cycles() < best.Cycles() {
+			best = c
+		}
+	}
+	bound := unbounded
+	for _, c := range s.cores {
+		if c == best || c.State != cpu.Running {
+			continue
+		}
+		limit := c.Cycles()
+		if c.ID > best.ID {
+			limit++
+		}
+		if limit < bound {
+			bound = limit
+		}
+	}
+	return best, bound
+}
+
+// syncTime returns the latest clock among barrier-waiting cores plus their
+// population (the barrier release point).
+func (s *scheduler) syncTime() (t int64, n int) {
+	for _, c := range s.cores {
+		if c.State == cpu.AtBarrier {
+			n++
+			if c.Cycles() > t {
+				t = c.Cycles()
+			}
+		}
+	}
+	return t, n
+}
+
+// liveMax returns the latest clock among non-halted cores (checkpoint
+// establishment and error-detection synchronisation points).
+func (s *scheduler) liveMax(floor int64) int64 {
+	t := floor
+	for _, c := range s.cores {
+		if c.State != cpu.Halted && c.Cycles() > t {
+			t = c.Cycles()
+		}
+	}
+	return t
+}
