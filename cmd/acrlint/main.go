@@ -1,0 +1,110 @@
+// Command acrlint runs the whole-program static analysis suite over ISA
+// kernels: basic-block/CFG construction, reaching definitions, liveness and
+// constant propagation feed lint passes for uninitialised reads, dead
+// stores, unreachable code, r0 writes, out-of-segment memory references,
+// fall-through termination and barrier-less infinite loops.
+//
+// Targets are benchmark names from the workloads registry; "all" (or the
+// conventional "./...") lints every registered kernel. The exit status is 1
+// if any diagnostic is produced, so acrlint works as a CI gate:
+//
+//	acrlint ./...
+//	acrlint -json -class W -threads 8 cg is
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"acr/internal/analysis"
+	"acr/internal/workloads"
+)
+
+// report is the JSON shape emitted for one linted program.
+type report struct {
+	Target  string          `json:"target"`
+	Threads int             `json:"threads"`
+	Class   string          `json:"class"`
+	Instrs  int             `json:"instrs"`
+	Diags   []analysis.Diag `json:"diags"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	className := flag.String("class", "S", "problem class to build kernels at (S, W or A)")
+	threads := flag.Int("threads", 4, "thread count to build kernels for")
+	flag.Parse()
+
+	class, err := workloads.ClassByName(*className)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrlint:", err)
+		os.Exit(2)
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "acrlint: no targets; pass benchmark names or ./... for all")
+		os.Exit(2)
+	}
+	var benches []workloads.Bench
+	for _, t := range targets {
+		if t == "all" || t == "./..." {
+			benches = workloads.All()
+			break
+		}
+		b, err := workloads.ByName(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrlint:", err)
+			os.Exit(2)
+		}
+		benches = append(benches, b)
+	}
+
+	var reports []report
+	total := 0
+	for _, b := range benches {
+		p, err := b.Build(*threads, class)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acrlint: %s: %v\n", b.Name, err)
+			os.Exit(2)
+		}
+		diags, err := analysis.Lint(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acrlint: %s: %v\n", b.Name, err)
+			os.Exit(2)
+		}
+		total += len(diags)
+		reports = append(reports, report{
+			Target:  b.Name,
+			Threads: *threads,
+			Class:   class.Name,
+			Instrs:  len(p.Code),
+			Diags:   diags,
+		})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "acrlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, r := range reports {
+			if len(r.Diags) == 0 {
+				fmt.Printf("%s: ok (%d instrs)\n", r.Target, r.Instrs)
+				continue
+			}
+			fmt.Printf("%s: %d diagnostics\n", r.Target, len(r.Diags))
+			for _, d := range r.Diags {
+				fmt.Printf("  %s\n", d)
+			}
+		}
+	}
+	if total > 0 {
+		os.Exit(1)
+	}
+}

@@ -3,6 +3,10 @@
 // backward slice, and shows how loads are cut out of it to form the ACR
 // Slice with buffered inputs. With -bench it instead disassembles one of
 // the NAS-like kernels and slices every store in the unrolled window.
+//
+// With -verify, every derived slice is additionally run through the
+// analysis.Verifier replay-safety proof; the process exits non-zero if any
+// slice is unsound, so the command doubles as a soundness gate.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"acr/internal/analysis"
 	"acr/internal/isa"
 	"acr/internal/slice"
 	"acr/internal/workloads"
@@ -19,20 +24,31 @@ func main() {
 	benchName := flag.String("bench", "", "disassemble and slice a benchmark kernel instead of the Fig. 3 example")
 	threads := flag.Int("threads", 2, "thread count for -bench")
 	maxStores := flag.Int("stores", 8, "number of stores to slice for -bench")
+	verify := flag.Bool("verify", false, "prove each slice replay-safe; exit 1 if any is unsound")
 	flag.Parse()
 
 	if *benchName == "" {
-		fig3()
-		return
+		os.Exit(fig3(*verify))
 	}
 	bench, err := workloads.ByName(*benchName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slicedump:", err)
 		os.Exit(1)
 	}
-	p := bench.Build(*threads, workloads.ClassS)
+	p, err := bench.Build(*threads, workloads.ClassS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicedump:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("kernel %s: %d instructions, %d data words\n\n", p.Name, len(p.Code), p.DataWords)
-	shown := 0
+	var v *analysis.Verifier
+	if *verify {
+		if v, err = analysis.NewVerifier(p.Code, p.Entry); err != nil {
+			fmt.Fprintln(os.Stderr, "slicedump:", err)
+			os.Exit(1)
+		}
+	}
+	shown, unsound := 0, 0
 	for i, in := range p.Code {
 		if in.Op != isa.ST || shown >= *maxStores {
 			continue
@@ -43,13 +59,26 @@ func main() {
 		}
 		fmt.Printf("store at pc %d: %v — backward slice %d instrs, %d buffered inputs\n",
 			i, in, s.Len(), s.NumInputs())
+		if v != nil {
+			if err := v.Verify(s); err != nil {
+				unsound++
+				fmt.Printf("  UNSOUND: %v\n", err)
+			} else {
+				fmt.Println("  sound: replay-safe")
+			}
+		}
 		shown++
+	}
+	if unsound > 0 {
+		fmt.Fprintf(os.Stderr, "slicedump: %d of %d slices are not replay-safe\n", unsound, shown)
+		os.Exit(1)
 	}
 }
 
 // fig3 reproduces the paper's running example: sumArr computed from i and j
 // (Fig. 3(a-d)). The loop is shown unrolled once, as footnote 1 prescribes.
-func fig3() {
+// It returns the process exit code.
+func fig3(verify bool) int {
 	// Fig. 3(a) pseudo-code, one unrolled iteration:
 	//   i, j loaded from memory; sumArr = i*i + (j << 1); store sumArr.
 	code := []isa.Instr{
@@ -68,7 +97,7 @@ func fig3() {
 	s, err := slice.Backward(code, 7)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slicedump:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(s.Render(code))
 	fmt.Println()
@@ -76,6 +105,14 @@ func fig3() {
 	fmt.Println("loads are not part of the Slice — their values are captured in the")
 	fmt.Println("input-operand buffer when ASSOC-ADDR retires (paper §III-A). The store")
 	fmt.Println("itself is re-executed during recovery to re-establish a consistent line.")
+	if verify {
+		if err := analysis.VerifyStatic(code, s); err != nil {
+			fmt.Fprintln(os.Stderr, "slicedump: UNSOUND:", err)
+			return 1
+		}
+		fmt.Println("\nverified: the slice is replay-safe (purity, dominance, closure,")
+		fmt.Println("address determinism and no-clobber all hold).")
+	}
 
 	// Show the runtime view too: what the tracker derives and the
 	// recovery handler would evaluate.
@@ -96,8 +133,9 @@ func fig3() {
 	c, ok := tr.Compile(tr.Recipe(0, 5), 10)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "slicedump: slice did not compile")
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("\nruntime Slice for sumArr (i=6, j=5), as evaluated during recovery:\n%s", c)
 	fmt.Printf("recomputed value: %d (expected %d)\n", c.Eval(nil), 6*6+(5<<1))
+	return 0
 }

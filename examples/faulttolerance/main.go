@@ -21,7 +21,9 @@ func main() {
 	class := workloads.ClassS
 
 	// Error-free reference.
-	ref, err := sim.New(sim.DefaultConfig(threads), bench.Build(threads, class))
+	refProg, err := bench.Build(threads, class)
+	must(err)
+	ref, err := sim.New(sim.DefaultConfig(threads), refProg)
 	must(err)
 	refRes, err := ref.Run()
 	must(err)
@@ -49,7 +51,8 @@ type outcome struct {
 }
 
 func runOnce(bench workloads.Bench, class workloads.Class, threads int, period, horizon int64, errs int, amnesic bool) outcome {
-	p := bench.Build(threads, class)
+	p, err := bench.Build(threads, class)
+	must(err)
 	cfg := sim.DefaultConfig(threads)
 	cfg.Checkpointing = true
 	cfg.PeriodCycles = period

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 
+	"acr/internal/analysis"
 	acr "acr/internal/core"
 	"acr/internal/fault"
 	"acr/internal/isa"
@@ -39,7 +40,17 @@ func main() {
 		})
 	})
 	b.Halt()
-	program := b.MustBuild()
+	program, err := b.Build()
+	must(err)
+
+	// Gate the kernel through the static analyser before running it: the
+	// same checks `acrlint` applies to the shipped workloads.
+	diags, err := analysis.Lint(program)
+	must(err)
+	for _, d := range diags {
+		log.Fatalf("quickstart kernel fails lint: %s", d)
+	}
+
 	program.Init = func(mem []int64) {
 		for i := 0; i < n; i++ {
 			mem[i] = int64(i)

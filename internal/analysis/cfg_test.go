@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"testing"
+
+	"acr/internal/isa"
+)
+
+// diamond builds the canonical two-armed CFG used across the tests:
+//
+//	b0: 0 li r1,1 ; 1 beq r1,r0 -> 4
+//	b1: 2 li r2,10 ; 3 jmp 5
+//	b2: 4 li r2,20
+//	b3: 5 add r3,r2,r1 ; 6 halt
+func diamond() []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 1},
+		{Op: isa.BEQ, Rs: 1, Rt: 0, Imm: 4},
+		{Op: isa.LI, Rd: 2, Imm: 10},
+		{Op: isa.JMP, Imm: 5},
+		{Op: isa.LI, Rd: 2, Imm: 20},
+		{Op: isa.ADD, Rd: 3, Rs: 2, Rt: 1},
+		{Op: isa.HALT},
+	}
+}
+
+func TestBuildCFGDiamond(t *testing.T) {
+	g, err := BuildCFG(diamond(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4: %+v", len(g.Blocks), g.Blocks)
+	}
+	wantRange := [][2]int{{0, 2}, {2, 4}, {4, 5}, {5, 7}}
+	for i, w := range wantRange {
+		if g.Blocks[i].Start != w[0] || g.Blocks[i].End != w[1] {
+			t.Errorf("block %d = [%d,%d), want [%d,%d)", i, g.Blocks[i].Start, g.Blocks[i].End, w[0], w[1])
+		}
+	}
+	wantSuccs := [][]int{{2, 1}, {3}, {3}, nil}
+	for i, w := range wantSuccs {
+		if len(g.Blocks[i].Succs) != len(w) {
+			t.Fatalf("block %d succs = %v, want %v", i, g.Blocks[i].Succs, w)
+		}
+		for j := range w {
+			if g.Blocks[i].Succs[j] != w[j] {
+				t.Errorf("block %d succs = %v, want %v", i, g.Blocks[i].Succs, w)
+			}
+		}
+	}
+	if got := g.BlockOf(4); got != 2 {
+		t.Errorf("BlockOf(4) = %d, want 2", got)
+	}
+	if len(g.Blocks[3].Preds) != 2 {
+		t.Errorf("join block preds = %v, want two", g.Blocks[3].Preds)
+	}
+}
+
+func TestBuildCFGRejectsBadBranchTarget(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.JMP, Imm: 99},
+		{Op: isa.HALT},
+	}
+	if _, err := BuildCFG(code, 0); err == nil {
+		t.Fatal("branch to pc 99 in a 2-instruction program must be rejected")
+	}
+	if _, err := BuildCFG(nil, 0); err == nil {
+		t.Fatal("empty code must be rejected")
+	}
+	if _, err := BuildCFG(diamond(), 42); err == nil {
+		t.Fatal("out-of-range entry must be rejected")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	// Block after an unconditional jmp with no inbound edge is dead.
+	code := []isa.Instr{
+		{Op: isa.JMP, Imm: 3},
+		{Op: isa.LI, Rd: 1, Imm: 1}, // dead
+		{Op: isa.JMP, Imm: 3},       // dead
+		{Op: isa.HALT},
+	}
+	g, err := BuildCFG(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := g.Reachable()
+	if !reach[g.BlockOf(0)] || !reach[g.BlockOf(3)] {
+		t.Error("entry and halt blocks must be reachable")
+	}
+	if reach[g.BlockOf(1)] {
+		t.Error("block after jmp with no inbound edge must be unreachable")
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g, err := BuildCFG(diamond(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpo := g.ReversePostorder()
+	if len(rpo) != 4 || rpo[0] != g.Entry {
+		t.Fatalf("rpo = %v, want all 4 blocks starting at entry %d", rpo, g.Entry)
+	}
+	if rpo[len(rpo)-1] != 3 {
+		t.Errorf("rpo = %v, want the join block last", rpo)
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"acr/internal/isa"
+	"acr/internal/prog"
+)
+
+// Constant propagation over the standard three-level lattice: a register is
+// either a known constant or NAC (not-a-constant). At program entry every
+// register is architecturally zero except the loader-preset thread id and
+// thread count, which vary per thread and start NAC. Loads produce NAC; ALU
+// ops fold through isa.EvalALU when every consumed operand is constant, so
+// folding is bit-exact with execution (including the architected
+// divide-by-zero-yields-zero rule). The out-of-segment lint pass uses the
+// result to bound statically-known effective addresses.
+
+type constKind uint8
+
+const (
+	constUnknown constKind = iota // no path information yet (lattice bottom)
+	constConst
+	constNAC
+)
+
+type constVal struct {
+	kind constKind
+	v    int64
+}
+
+type constEnv [isa.NumRegs]constVal
+
+func meetVal(a, b constVal) constVal {
+	switch {
+	case a.kind == constUnknown:
+		return b
+	case b.kind == constUnknown:
+		return a
+	case a.kind == constConst && b.kind == constConst && a.v == b.v:
+		return a
+	}
+	return constVal{kind: constNAC}
+}
+
+func meetEnv(dst *constEnv, src *constEnv) (changed bool) {
+	for r := 1; r < isa.NumRegs; r++ {
+		m := meetVal(dst[r], src[r])
+		if m != dst[r] {
+			dst[r] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ConstProp holds per-block constant environments at block entry.
+type ConstProp struct {
+	g  *CFG
+	in []constEnv
+}
+
+// NewConstProp runs constant propagation over g.
+func NewConstProp(g *CFG) *ConstProp {
+	cp := &ConstProp{g: g, in: make([]constEnv, len(g.Blocks))}
+	entry := &cp.in[g.Entry]
+	for r := 1; r < isa.NumRegs; r++ {
+		entry[r] = constVal{kind: constConst}
+	}
+	entry[prog.RegTID] = constVal{kind: constNAC}
+	entry[prog.RegNTHR] = constVal{kind: constNAC}
+
+	rpo := g.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, id := range rpo {
+			env := cp.in[id] // copy
+			b := g.Blocks[id]
+			for pc := b.Start; pc < b.End; pc++ {
+				transferConst(&env, g.Code[pc])
+			}
+			for _, s := range b.Succs {
+				if meetEnv(&cp.in[s], &env) {
+					changed = true
+				}
+			}
+		}
+	}
+	return cp
+}
+
+// transferConst applies one instruction to the environment.
+func transferConst(env *constEnv, in isa.Instr) {
+	rd, writes := in.DstReg()
+	if !writes || rd == 0 {
+		return
+	}
+	if !in.Op.IsALU() { // LD (and any future opaque producer)
+		env[rd] = constVal{kind: constNAC}
+		return
+	}
+	val := func(r isa.Reg) (int64, bool) {
+		if r == 0 {
+			return 0, true
+		}
+		return env[r].v, env[r].kind == constConst
+	}
+	var a, b, c int64
+	ok := true
+	switch in.Op {
+	case isa.LI, isa.LUI:
+	case isa.MOV, isa.FNEG, isa.FABS, isa.FSQRT, isa.CVTF, isa.CVTI,
+		isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+		a, ok = val(in.Rs)
+	case isa.FMA:
+		var oa, ob, oc bool
+		a, oa = val(in.Rs)
+		b, ob = val(in.Rt)
+		c, oc = val(in.Rd)
+		ok = oa && ob && oc
+	default:
+		var oa, ob bool
+		a, oa = val(in.Rs)
+		b, ob = val(in.Rt)
+		ok = oa && ob
+	}
+	if !ok {
+		env[rd] = constVal{kind: constNAC}
+		return
+	}
+	env[rd] = constVal{kind: constConst, v: isa.EvalALU(in.Op, a, b, c, in.Imm)}
+}
+
+// ValueAt returns the constant value of reg immediately before the
+// instruction at pc, if the analysis proved one.
+func (cp *ConstProp) ValueAt(pc int, reg isa.Reg) (int64, bool) {
+	if reg == 0 {
+		return 0, true
+	}
+	b := cp.g.Blocks[cp.g.BlockOf(pc)]
+	env := cp.in[b.ID] // copy
+	for i := b.Start; i < pc; i++ {
+		transferConst(&env, cp.g.Code[i])
+	}
+	return env[reg].v, env[reg].kind == constConst
+}

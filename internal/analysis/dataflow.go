@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"acr/internal/isa"
+)
+
+// This file implements the two classic bit-vector dataflow analyses the
+// lint passes and the Slice verifier are built on. Both run the standard
+// iterative worklist fixpoint over basic blocks and answer per-instruction
+// queries by replaying the block-local transfer function from the block
+// boundary — blocks are short, so queries stay cheap without a per-pc
+// materialisation.
+//
+// Register r0 is hardwired to zero and is excluded from both analyses: it
+// has no definitions (writes are discarded) and reading it needs none.
+
+// EntryDef is the pseudo-definition PC reported by ReachingDefs for a
+// register that may still hold its program-entry value (architecturally
+// zero, or the loader-preset thread id / thread count).
+const EntryDef = -1
+
+// ReachingDefs is the reaching-definitions analysis: for every use point it
+// reports which instructions may have produced the current value of a
+// register. The definition universe is every instruction that writes a
+// non-r0 register, plus one entry pseudo-definition per register.
+type ReachingDefs struct {
+	g     *CFG
+	words int
+	// defPC maps def ID -> defining pc (EntryDef for entry pseudo-defs).
+	defPC []int
+	// kill[reg] is the bitset of all def IDs of reg.
+	kill [isa.NumRegs][]uint64
+	// entryID[reg] is the def ID of reg's entry pseudo-definition.
+	entryID [isa.NumRegs]int
+	// defID[pc] is the def ID of the instruction at pc, or -1.
+	defID []int
+	// in[block] is the bitset of defs reaching the block entry.
+	in [][]uint64
+}
+
+// NewReachingDefs runs the analysis over g.
+func NewReachingDefs(g *CFG) *ReachingDefs {
+	rd := &ReachingDefs{g: g, defID: make([]int, len(g.Code))}
+	for pc, in := range g.Code {
+		rd.defID[pc] = -1
+		if r, ok := in.DstReg(); ok && r != 0 {
+			rd.defID[pc] = len(rd.defPC)
+			rd.defPC = append(rd.defPC, pc)
+		}
+	}
+	for r := 1; r < isa.NumRegs; r++ {
+		rd.entryID[r] = len(rd.defPC)
+		rd.defPC = append(rd.defPC, EntryDef)
+	}
+	nDefs := len(rd.defPC)
+	rd.words = (nDefs + 63) / 64
+	for pc, id := range rd.defID {
+		if id < 0 {
+			continue
+		}
+		r, _ := g.Code[pc].DstReg()
+		if rd.kill[r] == nil {
+			rd.kill[r] = make([]uint64, rd.words)
+		}
+		setBit(rd.kill[r], id)
+	}
+	for r := 1; r < isa.NumRegs; r++ {
+		if rd.kill[r] == nil {
+			rd.kill[r] = make([]uint64, rd.words)
+		}
+		setBit(rd.kill[r], rd.entryID[r])
+	}
+
+	rd.in = make([][]uint64, len(g.Blocks))
+	for i := range rd.in {
+		rd.in[i] = make([]uint64, rd.words)
+	}
+	for r := 1; r < isa.NumRegs; r++ {
+		setBit(rd.in[g.Entry], rd.entryID[r])
+	}
+
+	// Forward union fixpoint over reverse postorder.
+	rpo := g.ReversePostorder()
+	out := make([]uint64, rd.words)
+	for changed := true; changed; {
+		changed = false
+		for _, id := range rpo {
+			copy(out, rd.in[id])
+			rd.transferRange(out, g.Blocks[id].Start, g.Blocks[id].End)
+			for _, s := range g.Blocks[id].Succs {
+				if unionInto(rd.in[s], out) {
+					changed = true
+				}
+			}
+		}
+	}
+	return rd
+}
+
+// transferRange applies the kill/gen transfer of instructions [from, to).
+func (rd *ReachingDefs) transferRange(set []uint64, from, to int) {
+	for pc := from; pc < to; pc++ {
+		id := rd.defID[pc]
+		if id < 0 {
+			continue
+		}
+		r, _ := rd.g.Code[pc].DstReg()
+		for w := range set {
+			set[w] &^= rd.kill[r][w]
+		}
+		setBit(set, id)
+	}
+}
+
+// DefsAt returns the PCs of the definitions of reg that may reach the
+// instruction at pc (before it executes). EntryDef (-1) denotes the entry
+// pseudo-definition. Queries on r0 return nil: the zero register has no
+// definitions.
+func (rd *ReachingDefs) DefsAt(pc int, reg isa.Reg) []int {
+	if reg == 0 {
+		return nil
+	}
+	b := rd.g.Blocks[rd.g.BlockOf(pc)]
+	set := make([]uint64, rd.words)
+	copy(set, rd.in[b.ID])
+	rd.transferRange(set, b.Start, pc)
+	var defs []int
+	for w, word := range set {
+		word &= rd.kill[reg][w]
+		for word != 0 {
+			i := bits.TrailingZeros64(word)
+			defs = append(defs, rd.defPC[w*64+i])
+			word &= word - 1
+		}
+	}
+	return defs
+}
+
+// Liveness is the backward register-liveness analysis. Live sets are 32-bit
+// masks indexed by register number; r0 is never live.
+type Liveness struct {
+	g *CFG
+	// LiveIn and LiveOut are per-block register masks.
+	LiveIn, LiveOut []uint32
+}
+
+// NewLiveness runs the analysis over g.
+func NewLiveness(g *CFG) *Liveness {
+	lv := &Liveness{
+		g:       g,
+		LiveIn:  make([]uint32, len(g.Blocks)),
+		LiveOut: make([]uint32, len(g.Blocks)),
+	}
+	// Backward union fixpoint (postorder = reversed RPO works well).
+	rpo := g.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			id := rpo[i]
+			b := g.Blocks[id]
+			out := uint32(0)
+			for _, s := range b.Succs {
+				out |= lv.LiveIn[s]
+			}
+			in := lv.transferBackward(out, b.Start, b.End)
+			if out != lv.LiveOut[id] || in != lv.LiveIn[id] {
+				lv.LiveOut[id] = out
+				lv.LiveIn[id] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// transferBackward applies instructions [from, to) in reverse to the live
+// set live (which is the set live after pc to-1).
+func (lv *Liveness) transferBackward(live uint32, from, to int) uint32 {
+	var srcs []isa.Reg
+	for pc := to - 1; pc >= from; pc-- {
+		in := lv.g.Code[pc]
+		if r, ok := in.DstReg(); ok && r != 0 {
+			live &^= 1 << r
+		}
+		srcs = in.SrcRegs(srcs[:0])
+		for _, r := range srcs {
+			if r != 0 {
+				live |= 1 << r
+			}
+		}
+	}
+	return live
+}
+
+// LiveOutAt returns the registers live immediately after the instruction at
+// pc (bit r set = register r live).
+func (lv *Liveness) LiveOutAt(pc int) uint32 {
+	b := lv.g.Blocks[lv.g.BlockOf(pc)]
+	live := lv.LiveOut[b.ID]
+	return lv.transferBackward(live, pc+1, b.End)
+}
+
+func setBit(set []uint64, i int) { set[i/64] |= 1 << (i % 64) }
+
+func unionInto(dst, src []uint64) (changed bool) {
+	for w := range dst {
+		if n := dst[w] | src[w]; n != dst[w] {
+			dst[w] = n
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"sort"
+	"testing"
+
+	"acr/internal/isa"
+)
+
+func TestReachingDefsDiamond(t *testing.T) {
+	g, err := BuildCFG(diamond(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReachingDefs(g)
+
+	// At the join (pc 5), r2 may come from either arm.
+	defs := rd.DefsAt(5, 2)
+	sort.Ints(defs)
+	if len(defs) != 2 || defs[0] != 2 || defs[1] != 4 {
+		t.Errorf("defs of r2 at pc 5 = %v, want [2 4]", defs)
+	}
+	// r1 has the single def at pc 0.
+	if defs := rd.DefsAt(5, 1); len(defs) != 1 || defs[0] != 0 {
+		t.Errorf("defs of r1 at pc 5 = %v, want [0]", defs)
+	}
+	// A never-written register reaches only the entry pseudo-def.
+	if defs := rd.DefsAt(5, 9); len(defs) != 1 || defs[0] != EntryDef {
+		t.Errorf("defs of r9 at pc 5 = %v, want [EntryDef]", defs)
+	}
+	// Before pc 0 executes, r1 still holds its entry value.
+	if defs := rd.DefsAt(0, 1); len(defs) != 1 || defs[0] != EntryDef {
+		t.Errorf("defs of r1 at pc 0 = %v, want [EntryDef]", defs)
+	}
+	// r0 has no definitions by construction.
+	if defs := rd.DefsAt(5, 0); defs != nil {
+		t.Errorf("defs of r0 = %v, want nil", defs)
+	}
+}
+
+func TestReachingDefsLoopCarried(t *testing.T) {
+	// 0 li r1,0 ; 1 li r2,10 ; 2 bge r1,r2 -> 5 ; 3 addi r1,r1,1 ;
+	// 4 jmp 2 ; 5 halt
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 0},
+		{Op: isa.LI, Rd: 2, Imm: 10},
+		{Op: isa.BGE, Rs: 1, Rt: 2, Imm: 5},
+		{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1},
+		{Op: isa.JMP, Imm: 2},
+		{Op: isa.HALT},
+	}
+	g, err := BuildCFG(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReachingDefs(g)
+	// At the loop head (pc 2), r1 comes from the init or the back edge.
+	defs := rd.DefsAt(2, 1)
+	sort.Ints(defs)
+	if len(defs) != 2 || defs[0] != 0 || defs[1] != 3 {
+		t.Errorf("defs of r1 at loop head = %v, want [0 3]", defs)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	g, err := BuildCFG(diamond(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := NewLiveness(g)
+
+	// After pc 0 (li r1), r1 is live (branch + join read it).
+	if lv.LiveOutAt(0)&(1<<1) == 0 {
+		t.Error("r1 must be live after its definition at pc 0")
+	}
+	// r2 is live out of both arms.
+	if lv.LiveOutAt(2)&(1<<2) == 0 || lv.LiveOutAt(4)&(1<<2) == 0 {
+		t.Error("r2 must be live out of both diamond arms")
+	}
+	// After the join add (pc 5), nothing is read anymore.
+	if out := lv.LiveOutAt(5); out != 0 {
+		t.Errorf("live-out at pc 5 = %#x, want 0", out)
+	}
+	// Block-level: r1 and r2 live into the join block.
+	join := g.BlockOf(5)
+	if lv.LiveIn[join]&(1<<1) == 0 || lv.LiveIn[join]&(1<<2) == 0 {
+		t.Errorf("join live-in = %#x, want r1 and r2", lv.LiveIn[join])
+	}
+}
+
+func TestLivenessLoopKeepsCounterLive(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 0},
+		{Op: isa.LI, Rd: 2, Imm: 10},
+		{Op: isa.BGE, Rs: 1, Rt: 2, Imm: 5},
+		{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1},
+		{Op: isa.JMP, Imm: 2},
+		{Op: isa.HALT},
+	}
+	g, err := BuildCFG(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := NewLiveness(g)
+	// The increment feeds the back edge: r1 live after pc 3.
+	if lv.LiveOutAt(3)&(1<<1) == 0 {
+		t.Error("loop counter must stay live across the back edge")
+	}
+	if lv.LiveOutAt(3)&(1<<2) == 0 {
+		t.Error("loop bound must stay live across the back edge")
+	}
+}

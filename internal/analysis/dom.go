@@ -1,0 +1,83 @@
+package analysis
+
+// Dominators holds the dominator tree of a CFG, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder. Block a
+// dominates block b when every path from the entry to b passes through a —
+// the property the Slice verifier needs: a slice member that dominates the
+// sliced store is guaranteed to have executed whenever the store executes.
+type Dominators struct {
+	g *CFG
+	// Idom is the immediate dominator per block ID; the entry is its own
+	// idom and unreachable blocks hold -1.
+	Idom []int
+	// rpoNum orders blocks by reverse postorder for the intersect walk.
+	rpoNum []int
+}
+
+// NewDominators computes the dominator tree of g.
+func NewDominators(g *CFG) *Dominators {
+	d := &Dominators{g: g, Idom: make([]int, len(g.Blocks)), rpoNum: make([]int, len(g.Blocks))}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.rpoNum[i] = -1
+	}
+	rpo := g.ReversePostorder()
+	for i, id := range rpo {
+		d.rpoNum[id] = i
+	}
+	d.Idom[g.Entry] = g.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, id := range rpo {
+			if id == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[id].Preds {
+				if d.Idom[p] == -1 {
+					continue // pred not yet processed or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && d.Idom[id] != newIdom {
+				d.Idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b int) int {
+	for a != b {
+		for d.rpoNum[a] > d.rpoNum[b] {
+			a = d.Idom[a]
+		}
+		for d.rpoNum[b] > d.rpoNum[a] {
+			b = d.Idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (every block
+// dominates itself). Unreachable blocks dominate nothing and are dominated
+// by nothing.
+func (d *Dominators) Dominates(a, b int) bool {
+	if d.Idom[a] == -1 || d.Idom[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == d.g.Entry {
+			return false
+		}
+		b = d.Idom[b]
+	}
+}

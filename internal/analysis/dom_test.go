@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"testing"
+
+	"acr/internal/isa"
+)
+
+func TestDominatorsDiamond(t *testing.T) {
+	g, err := BuildCFG(diamond(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDominators(g)
+
+	for b := 0; b < 4; b++ {
+		if !d.Dominates(0, b) {
+			t.Errorf("entry block must dominate block %d", b)
+		}
+		if !d.Dominates(b, b) {
+			t.Errorf("block %d must dominate itself", b)
+		}
+	}
+	// Neither arm dominates the join.
+	if d.Dominates(1, 3) || d.Dominates(2, 3) {
+		t.Error("diamond arms must not dominate the join block")
+	}
+	if d.Idom[3] != 0 {
+		t.Errorf("idom(join) = %d, want entry (merge point's idom skips the arms)", d.Idom[3])
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 0}, // b0
+		{Op: isa.BGE, Rs: 1, Rt: 2, Imm: 4},
+		{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1}, // b1 body
+		{Op: isa.JMP, Imm: 1},
+		{Op: isa.HALT}, // b2 exit
+	}
+	g, err := BuildCFG(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDominators(g)
+	head := g.BlockOf(1)
+	body := g.BlockOf(2)
+	exit := g.BlockOf(4)
+	if !d.Dominates(head, body) || !d.Dominates(head, exit) {
+		t.Error("loop head must dominate body and exit")
+	}
+	if d.Dominates(body, exit) {
+		t.Error("loop body must not dominate the exit")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.JMP, Imm: 2},
+		{Op: isa.LI, Rd: 1, Imm: 1}, // unreachable
+		{Op: isa.HALT},
+	}
+	g, err := BuildCFG(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDominators(g)
+	dead := g.BlockOf(1)
+	if d.Dominates(dead, g.BlockOf(2)) || d.Dominates(g.Entry, dead) {
+		t.Error("unreachable blocks neither dominate nor are dominated")
+	}
+}

@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"acr/internal/isa"
+	"acr/internal/prog"
+)
+
+// Severity grades a lint diagnostic. The acrlint gate and the workload
+// guard test treat every diagnostic as a failure; the split exists so
+// reports can distinguish definite bugs from smells.
+type Severity uint8
+
+// Severities.
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diag is one lint finding, anchored to an instruction (PC) and its basic
+// block.
+type Diag struct {
+	Pass     string   `json:"pass"`
+	PC       int      `json:"pc"`
+	Block    int      `json:"block"`
+	Severity Severity `json:"severity"`
+	Msg      string   `json:"msg"`
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("pc %d [%s] %s: %s", d.PC, d.Pass, d.Severity, d.Msg)
+}
+
+// Lint runs the full pass suite over a built program: unreachable blocks,
+// definitely-uninitialised register reads, dead register writes, writes to
+// the hardwired zero register, statically out-of-segment memory references,
+// fall-through past the end of the code image, and infinite loops that
+// contain no barrier. It returns the findings sorted by PC; the error is
+// non-nil only when the CFG cannot be constructed (e.g. a branch targets an
+// instruction outside the code image).
+func Lint(p *prog.Program) ([]Diag, error) {
+	return LintCode(p.Code, p.Entry, p.DataWords)
+}
+
+// LintCode is Lint over a raw code image. dataWords bounds the data
+// segment for the out-of-segment pass; pass 0 to skip that pass.
+func LintCode(code []isa.Instr, entry, dataWords int) ([]Diag, error) {
+	g, err := BuildCFG(code, entry)
+	if err != nil {
+		return nil, err
+	}
+	reach := g.Reachable()
+	var diags []Diag
+	diags = append(diags, lintUnreachable(g, reach)...)
+	diags = append(diags, lintUninitReads(g, reach)...)
+	diags = append(diags, lintDeadStores(g, reach)...)
+	diags = append(diags, lintWriteR0(g, reach)...)
+	diags = append(diags, lintOutOfSegment(g, reach, dataWords)...)
+	diags = append(diags, lintFallOffEnd(g, reach)...)
+	diags = append(diags, lintInfiniteLoops(g, reach)...)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].PC != diags[j].PC {
+			return diags[i].PC < diags[j].PC
+		}
+		return diags[i].Pass < diags[j].Pass
+	})
+	return diags, nil
+}
+
+// lintUnreachable flags blocks no path from the entry reaches.
+func lintUnreachable(g *CFG, reach []bool) []Diag {
+	var diags []Diag
+	for _, b := range g.Blocks {
+		if reach[b.ID] {
+			continue
+		}
+		diags = append(diags, Diag{
+			Pass: "unreachable", PC: b.Start, Block: b.ID, Severity: SevWarn,
+			Msg: fmt.Sprintf("block %d (pc %d..%d) is unreachable from the entry", b.ID, b.Start, b.End-1),
+		})
+	}
+	return diags
+}
+
+// lintUninitReads flags reads of registers that are never written on any
+// path from the entry — the value read is always the architectural zero,
+// which is either a latent bug or should be spelled r0. The loader-preset
+// thread id and thread count are exempt.
+func lintUninitReads(g *CFG, reach []bool) []Diag {
+	rd := NewReachingDefs(g)
+	var diags []Diag
+	var srcs []isa.Reg
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			srcs = g.Code[pc].SrcRegs(srcs[:0])
+			seen := uint32(0)
+			for _, r := range srcs {
+				if r == 0 || r == prog.RegTID || r == prog.RegNTHR || seen&(1<<r) != 0 {
+					continue
+				}
+				seen |= 1 << r
+				defs := rd.DefsAt(pc, r)
+				allEntry := true
+				for _, d := range defs {
+					if d != EntryDef {
+						allEntry = false
+						break
+					}
+				}
+				if allEntry {
+					diags = append(diags, Diag{
+						Pass: "uninit-read", PC: pc, Block: b.ID, Severity: SevError,
+						Msg: fmt.Sprintf("%v reads %v, which is never written on any path from the entry (always its initial zero)", g.Code[pc], r),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// lintDeadStores flags pure ALU register writes whose value is never read:
+// the instruction has no side effect, so it is either dead code or a bug
+// (memory operations are exempt — a load's cache traffic is an effect even
+// when the loaded value is unused).
+func lintDeadStores(g *CFG, reach []bool) []Diag {
+	lv := NewLiveness(g)
+	var diags []Diag
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.Code[pc]
+			if !in.Op.IsALU() {
+				continue
+			}
+			r, ok := in.DstReg()
+			if !ok || r == 0 {
+				continue
+			}
+			if lv.LiveOutAt(pc)&(1<<r) == 0 {
+				diags = append(diags, Diag{
+					Pass: "dead-store", PC: pc, Block: b.ID, Severity: SevWarn,
+					Msg: fmt.Sprintf("value of %v computed by %v is never read", r, in),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// lintWriteR0 flags instructions that write the hardwired zero register:
+// the write is silently discarded by the core.
+func lintWriteR0(g *CFG, reach []bool) []Diag {
+	var diags []Diag
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.Code[pc]
+			if r, ok := in.DstReg(); ok && r == 0 && in.Op != isa.NOP {
+				diags = append(diags, Diag{
+					Pass: "write-r0", PC: pc, Block: b.ID, Severity: SevError,
+					Msg: fmt.Sprintf("%v writes r0; the result is discarded", in),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// lintOutOfSegment flags memory references whose effective address is a
+// proven constant outside the program's data segment [0, dataWords).
+func lintOutOfSegment(g *CFG, reach []bool, dataWords int) []Diag {
+	if dataWords <= 0 {
+		return nil
+	}
+	cp := NewConstProp(g)
+	var diags []Diag
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.Code[pc]
+			if !in.Op.IsMem() {
+				continue
+			}
+			base, ok := cp.ValueAt(pc, in.Rs)
+			if !ok {
+				continue
+			}
+			addr := base + in.Imm
+			if addr < 0 || addr >= int64(dataWords) {
+				diags = append(diags, Diag{
+					Pass: "oob-mem", PC: pc, Block: b.ID, Severity: SevError,
+					Msg: fmt.Sprintf("%v addresses word %d, outside the data segment [0,%d)", in, addr, dataWords),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// lintFallOffEnd flags a reachable block that falls through past the last
+// instruction of the code image: execution would run off the program.
+func lintFallOffEnd(g *CFG, reach []bool) []Diag {
+	var diags []Diag
+	for _, b := range g.Blocks {
+		if !reach[b.ID] || b.End != len(g.Code) {
+			continue
+		}
+		last := g.Code[b.End-1]
+		if last.Op == isa.HALT || last.Op == isa.JMP {
+			continue
+		}
+		diags = append(diags, Diag{
+			Pass: "fall-off-end", PC: b.End - 1, Block: b.ID, Severity: SevError,
+			Msg: fmt.Sprintf("control can fall through past the last instruction (%v); terminate with halt or an unconditional jump", last),
+		})
+	}
+	return diags
+}
+
+// lintInfiniteLoops flags cycles in the CFG that have no exit edge and
+// contain no barrier: every thread entering one spins forever with no way
+// to synchronise out.
+func lintInfiniteLoops(g *CFG, reach []bool) []Diag {
+	var diags []Diag
+	for _, scc := range stronglyConnected(g, reach) {
+		inSCC := make(map[int]bool, len(scc))
+		for _, id := range scc {
+			inSCC[id] = true
+		}
+		// A single block is a cycle only if it has a self-edge.
+		if len(scc) == 1 {
+			self := false
+			for _, s := range g.Blocks[scc[0]].Succs {
+				if s == scc[0] {
+					self = true
+				}
+			}
+			if !self {
+				continue
+			}
+		}
+		hasExit, hasBarrier := false, false
+		first := scc[0]
+		for _, id := range scc {
+			if g.Blocks[id].Start < g.Blocks[first].Start {
+				first = id
+			}
+			for _, s := range g.Blocks[id].Succs {
+				if !inSCC[s] {
+					hasExit = true
+				}
+			}
+			for pc := g.Blocks[id].Start; pc < g.Blocks[id].End; pc++ {
+				if g.Code[pc].Op == isa.BARRIER {
+					hasBarrier = true
+				}
+			}
+		}
+		if !hasExit && !hasBarrier {
+			diags = append(diags, Diag{
+				Pass: "infinite-loop", PC: g.Blocks[first].Start, Block: first, Severity: SevError,
+				Msg: fmt.Sprintf("loop over blocks %v has no exit edge and no barrier; it can never terminate", scc),
+			})
+		}
+	}
+	return diags
+}
+
+// stronglyConnected returns Tarjan's strongly connected components of the
+// reachable subgraph.
+func stronglyConnected(g *CFG, reach []bool) [][]int {
+	n := len(g.Blocks)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Blocks[v].Succs {
+			if !reach[w] {
+				continue
+			}
+			if index[w] == -1 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if reach[v] && index[v] == -1 {
+			strong(v)
+		}
+	}
+	return sccs
+}

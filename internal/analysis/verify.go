@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"acr/internal/isa"
+	"acr/internal/slice"
+)
+
+// This file implements the Slice recomputability verifier: the static proof
+// that a slice.Static is replay-safe, i.e. that evaluating its members over
+// its buffered inputs at recovery time reproduces the stored value
+// bit-for-bit (paper §III, Fig. 3). The proof obligations are
+//
+//  1. purity — every member is a pure ALU/FPU instruction (no memory
+//     access, no control flow, no system op);
+//  2. guaranteed execution — every member and input load dominates the
+//     sliced store, so whenever the store executed, so did they;
+//  3. closure — every operand consumed by a member (and the stored value
+//     itself) is produced by a slice member, captured by a buffered input
+//     load, or listed as a buffered live-in; a reaching definition from any
+//     other instruction means the slice would replay a stale value;
+//  4. address determinism — the effective address of every input load and
+//     of the store has a unique reaching definition, so the captured
+//     location is not control-flow dependent;
+//  5. no clobber — no store on a path between an input load and the sliced
+//     store may alias the load's address, so the buffered value is the one
+//     memory held when the slice's inputs were captured.
+//
+// Violations are reported as *UnsoundSliceError with the offending PCs, so
+// an unsound Slice is rejected with a precise diagnostic instead of
+// silently corrupting recovery. The runtime half of the same contract is
+// slice.(*Compiled).Validate, which Tracker.Compile applies to every
+// dynamically extracted Slice.
+
+// UnsoundSliceError explains why a Slice failed verification.
+type UnsoundSliceError struct {
+	// StoreIdx is the sliced store's index in the window.
+	StoreIdx int
+	// PC is the instruction the violation is anchored to.
+	PC int
+	// Obligation names the violated proof obligation.
+	Obligation string
+	// Msg is the human-readable diagnostic.
+	Msg string
+}
+
+func (e *UnsoundSliceError) Error() string {
+	return fmt.Sprintf("slice of store at pc %d is not replay-safe (%s): %s", e.StoreIdx, e.Obligation, e.Msg)
+}
+
+// Verifier proves slice.Static values replay-safe over one code image. The
+// underlying analyses (CFG, dominance, reaching definitions) are computed
+// once and shared across Verify calls, so verifying every store of a
+// program costs one analysis plus cheap per-slice checks.
+type Verifier struct {
+	g     *CFG
+	dom   *Dominators
+	rd    *ReachingDefs
+	reach [][]bool // lazily built per-block forward reachability
+}
+
+// NewVerifier builds a verifier for the code image. entry is the PC
+// execution starts at (0 for slicing windows).
+func NewVerifier(code []isa.Instr, entry int) (*Verifier, error) {
+	g, err := BuildCFG(code, entry)
+	if err != nil {
+		return nil, err
+	}
+	return &Verifier{
+		g:     g,
+		dom:   NewDominators(g),
+		rd:    NewReachingDefs(g),
+		reach: make([][]bool, len(g.Blocks)),
+	}, nil
+}
+
+// VerifyStatic is the one-shot convenience: build a Verifier over code and
+// verify s. Use a shared Verifier to check many slices of one program.
+func VerifyStatic(code []isa.Instr, s *slice.Static) error {
+	v, err := NewVerifier(code, 0)
+	if err != nil {
+		return err
+	}
+	return v.Verify(s)
+}
+
+// Verify proves s replay-safe, or returns an *UnsoundSliceError describing
+// the first violated proof obligation.
+func (v *Verifier) Verify(s *slice.Static) error {
+	code := v.g.Code
+	fail := func(pc int, obligation, format string, args ...any) error {
+		return &UnsoundSliceError{StoreIdx: s.StoreIdx, PC: pc, Obligation: obligation, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	// Structural validation of the member/input index sets.
+	if s.StoreIdx < 0 || s.StoreIdx >= len(code) {
+		return fail(s.StoreIdx, "structure", "store index outside code [0,%d)", len(code))
+	}
+	st := code[s.StoreIdx]
+	if st.Op != isa.ST {
+		return fail(s.StoreIdx, "structure", "instruction %v is not a store", st)
+	}
+	member := make(map[int]bool, len(s.Members))
+	input := make(map[int]bool, len(s.InputLoads))
+	for _, m := range s.Members {
+		if m < 0 || m >= s.StoreIdx {
+			return fail(m, "structure", "member index %d is not before the store at pc %d", m, s.StoreIdx)
+		}
+		if !code[m].Op.IsALU() {
+			return fail(m, "purity", "member %v is not a pure ALU/FPU instruction", code[m])
+		}
+		member[m] = true
+	}
+	for _, l := range s.InputLoads {
+		if l < 0 || l >= s.StoreIdx {
+			return fail(l, "structure", "input load index %d is not before the store at pc %d", l, s.StoreIdx)
+		}
+		if code[l].Op != isa.LD {
+			return fail(l, "structure", "input %v is not a load", code[l])
+		}
+		if member[l] {
+			return fail(l, "structure", "pc %d listed as both member and input load", l)
+		}
+		input[l] = true
+	}
+	liveIn := make(map[isa.Reg]bool, len(s.LiveIn))
+	for _, r := range s.LiveIn {
+		liveIn[r] = true
+	}
+
+	// Obligation 2: members and input loads dominate the store.
+	sb := v.g.BlockOf(s.StoreIdx)
+	inSlice := make([]int, 0, len(member)+len(input))
+	for m := range member {
+		inSlice = append(inSlice, m)
+	}
+	for l := range input {
+		inSlice = append(inSlice, l)
+	}
+	sort.Ints(inSlice)
+	for _, pc := range inSlice {
+		mb := v.g.BlockOf(pc)
+		if mb != sb && !v.dom.Dominates(mb, sb) {
+			return fail(pc, "dominance",
+				"slice instruction at pc %d (block %d) does not dominate the store at pc %d (block %d): on some path to the store it never executes",
+				pc, mb, s.StoreIdx, sb)
+		}
+	}
+
+	// Obligation 3: operand closure under reaching definitions.
+	checkUses := func(pc int, regs []isa.Reg) error {
+		for _, r := range regs {
+			if r == 0 {
+				continue
+			}
+			for _, d := range v.rd.DefsAt(pc, r) {
+				switch {
+				case d == EntryDef:
+					if !liveIn[r] {
+						return fail(pc, "closure",
+							"operand %v of %v at pc %d may hold its program-entry value, but %v is not captured as a live-in input",
+							r, code[pc], pc, r)
+					}
+				case !member[d] && !input[d]:
+					return fail(pc, "closure",
+						"operand %v of %v at pc %d is defined by non-slice instruction at pc %d (%v); the slice is not closed over its producers",
+						r, code[pc], pc, d, code[d])
+				}
+			}
+		}
+		return nil
+	}
+	var srcs []isa.Reg
+	for _, m := range s.Members {
+		srcs = code[m].SrcRegs(srcs[:0])
+		if err := checkUses(m, srcs); err != nil {
+			return err
+		}
+	}
+	if err := checkUses(s.StoreIdx, []isa.Reg{st.Rt}); err != nil {
+		return err
+	}
+
+	// Obligation 4: address determinism for the input loads and the store.
+	addrDef := make(map[int]int, len(input)+1)
+	addrSites := append(append([]int(nil), s.InputLoads...), s.StoreIdx)
+	for _, pc := range addrSites {
+		base := code[pc].Rs
+		if base == 0 {
+			addrDef[pc] = EntryDef
+			continue
+		}
+		defs := v.rd.DefsAt(pc, base)
+		if len(defs) != 1 {
+			return fail(pc, "address-determinism",
+				"address base %v of %v at pc %d has %d reaching definitions (pcs %v); the effective address is control-flow dependent",
+				base, code[pc], pc, len(defs), defs)
+		}
+		addrDef[pc] = defs[0]
+	}
+
+	// Obligation 5: no store on a path between an input load and the
+	// sliced store may alias the load's address.
+	for _, l := range s.InputLoads {
+		for pc, in := range code {
+			if in.Op != isa.ST || pc == s.StoreIdx {
+				continue
+			}
+			if !v.onPath(l, pc) || !v.onPath(pc, s.StoreIdx) {
+				continue
+			}
+			switch v.alias(code, addrDef, l, pc) {
+			case aliasMust:
+				return fail(pc, "no-clobber",
+					"store %v at pc %d overwrites the address of buffered input load %v at pc %d before the sliced store; the captured input would be stale at replay",
+					in, pc, code[l], l)
+			case aliasMay:
+				return fail(pc, "no-clobber",
+					"store %v at pc %d cannot be proven distinct from buffered input load %v at pc %d",
+					in, pc, code[l], l)
+			}
+		}
+	}
+	return nil
+}
+
+type aliasKind uint8
+
+const (
+	aliasNo aliasKind = iota
+	aliasMay
+	aliasMust
+)
+
+// alias classifies whether the store at stPC may write the word read by the
+// load at ldPC. Addresses are base+imm; two sites compare when their base
+// registers carry the same unique reaching definition (same producer, hence
+// same value), in which case equal immediates must alias and distinct
+// immediates cannot.
+func (v *Verifier) alias(code []isa.Instr, addrDef map[int]int, ldPC, stPC int) aliasKind {
+	ld, st := code[ldPC], code[stPC]
+	stDefs := v.rd.DefsAt(stPC, st.Rs)
+	sameBase := false
+	if ld.Rs == 0 && st.Rs == 0 {
+		sameBase = true
+	} else if ld.Rs == st.Rs && len(stDefs) == 1 && stDefs[0] == addrDef[ldPC] {
+		sameBase = true
+	}
+	if sameBase {
+		if ld.Imm == st.Imm {
+			return aliasMust
+		}
+		return aliasNo
+	}
+	return aliasMay
+}
+
+// onPath reports whether execution can pass through pc b after passing
+// through pc a (a strictly before b on some path).
+func (v *Verifier) onPath(a, b int) bool {
+	ba, bb := v.g.BlockOf(a), v.g.BlockOf(b)
+	if ba == bb && a < b {
+		return true
+	}
+	if v.reach[ba] == nil {
+		v.reach[ba] = v.g.reachableFrom(ba)
+	}
+	return v.reach[ba][bb]
+}

@@ -238,7 +238,10 @@ func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, period, max
 			cfg.Errors = fault.UniformIn(spec.Errors, roi, roi+period*maxCkpts, lat)
 		}
 	}
-	program := bench.Build(p.Threads, p.Class)
+	program, err := bench.Build(p.Threads, p.Class)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("bench %s %v: %w", bench.Name, spec, err)
+	}
 	m, err := sim.New(cfg, program)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("bench %s %v: %w", bench.Name, spec, err)

@@ -225,6 +225,15 @@ func (in Instr) SrcRegs(dst []Reg) []Reg {
 	}
 }
 
+// BranchTarget returns the absolute instruction index the instruction may
+// redirect control flow to, and true; or 0 and false for non-branches.
+func (in Instr) BranchTarget() (int, bool) {
+	if in.Op.IsBranch() {
+		return int(in.Imm), true
+	}
+	return 0, false
+}
+
 // DstReg returns the register the instruction writes and true, or 0 and
 // false if it writes none. Writes to r0 are discarded by the core but still
 // reported here.

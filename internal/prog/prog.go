@@ -7,6 +7,7 @@ package prog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"acr/internal/isa"
@@ -268,7 +269,12 @@ func (b *Builder) Build() (*Program, error) {
 		return nil, b.err
 	}
 	if len(b.pending) > 0 {
-		return nil, fmt.Errorf("prog %s: %d unresolved labels", b.name, len(b.pending))
+		var sites []int
+		for _, pcs := range b.pending {
+			sites = append(sites, pcs...)
+		}
+		sort.Ints(sites)
+		return nil, fmt.Errorf("prog %s: %d unresolved labels, branched to from pcs %v", b.name, len(b.pending), sites)
 	}
 	p := &Program{
 		Name:      b.name,

@@ -55,8 +55,12 @@ func TestUnresolvedLabelFails(t *testing.T) {
 	l := b.NewLabel()
 	b.Jmp(l)
 	b.Halt()
-	if _, err := b.Build(); err == nil {
+	_, err := b.Build()
+	if err == nil {
 		t.Fatal("expected error for unresolved label")
+	}
+	if !strings.Contains(err.Error(), "pcs [0]") {
+		t.Fatalf("error %q should name the branch site pc 0", err)
 	}
 }
 

@@ -120,15 +120,30 @@ const unusedEnc = int32(math.MinInt32)
 // shared sub-expressions, or reports false if the recipe is opaque or needs
 // more than maxOps instructions. The walk aborts as soon as the op budget
 // is exceeded, so Compile stays cheap even when invoked on every
-// ASSOC-ADDR.
+// ASSOC-ADDR. Every emitted Slice is gated through Validate — the runtime
+// counterpart of the static recomputability proof — so dynamic extraction
+// can never hand recovery a Slice violating the soundness contract.
 func (t *Tracker) Compile(r Ref, maxOps int) (*Compiled, bool) {
+	c, err := t.CompileVerified(r, maxOps)
+	return c, err == nil
+}
+
+// errSliceBudget is the non-diagnostic rejection: the recipe is opaque or
+// exceeds the op budget (the common case, paper §III-A's length threshold).
+var errSliceBudget = fmt.Errorf("slice: recipe is opaque or exceeds the op budget")
+
+// CompileVerified is Compile with the rejection reason: the budget sentinel
+// for opaque/over-long recipes, or a Validate diagnostic when the emitted
+// Slice violates the soundness contract (which would indicate recipe
+// tracker corruption — recovery must reject it rather than replay it).
+func (t *Tracker) CompileVerified(r Ref, maxOps int) (*Compiled, error) {
 	if t.at(r).kind == kindOpaque {
-		return nil, false
+		return nil, errSliceBudget
 	}
 	c := &Compiled{}
 	clear(t.slotOf)
 	if !t.emit(r, c, maxOps) {
-		return nil, false
+		return nil, errSliceBudget
 	}
 	// Fix up operand encodings: inputs keep their index; op results are
 	// encoded as ^opIndex and shift by the final input count.
@@ -148,7 +163,10 @@ func (t *Tracker) Compile(r Ref, maxOps int) (*Compiled, bool) {
 		c.Ops[j].B = fix(c.Ops[j].B)
 		c.Ops[j].C = fix(c.Ops[j].C)
 	}
-	return c, true
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // emit appends r's subgraph to c in topological order. During the walk,

@@ -1,0 +1,151 @@
+package slice
+
+import (
+	"strings"
+	"testing"
+
+	"acr/internal/isa"
+)
+
+// TestStaticAddressRegWrittenInWindow pins the slicing rule that the store's
+// address register is NOT part of the slice: ACR buffers the effective
+// address in the AddrMap at ASSOC-ADDR time, so the address computation need
+// not be replayed. A window that recomputes the address register must not
+// pull that arithmetic into the slice.
+func TestStaticAddressRegWrittenInWindow(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 4, Imm: 100},        // address reg written in window
+		{Op: isa.ADDI, Rd: 4, Rs: 4, Imm: 8}, // ... and again
+		{Op: isa.LI, Rd: 3, Imm: 7},          // the stored value
+		{Op: isa.ST, Rt: 3, Rs: 4, Imm: 0},
+	}
+	s, err := Backward(code, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Members) != 1 || s.Members[0] != 2 {
+		t.Fatalf("members = %v, want only the value producer at pc 2 (address arithmetic is buffered, not sliced)", s.Members)
+	}
+	if len(s.InputLoads) != 0 || len(s.LiveIn) != 0 {
+		t.Fatalf("slice has spurious inputs: %+v", s)
+	}
+}
+
+// TestStaticR0SourcesNotNeeded pins that r0 operands never become slice
+// inputs: r0 is architectural zero, not program state.
+func TestStaticR0SourcesNotNeeded(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.ADD, Rd: 3, Rs: 0, Rt: 0}, // r3 = 0 + 0
+		{Op: isa.ST, Rt: 3, Rs: 0, Imm: 5},
+	}
+	s, err := Backward(code, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Members) != 1 || s.Members[0] != 0 {
+		t.Fatalf("members = %v, want [0]", s.Members)
+	}
+	if len(s.LiveIn) != 0 {
+		t.Fatalf("r0 must not appear as a live-in, got %v", s.LiveIn)
+	}
+}
+
+// TestStaticEmptySliceStoreOfR0 pins the degenerate slice: a store of r0 has
+// no members, no inputs and no live-ins — the recovery evaluation is the
+// constant zero.
+func TestStaticEmptySliceStoreOfR0(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 9},
+		{Op: isa.ST, Rt: 0, Rs: 1, Imm: 0},
+	}
+	s, err := Backward(code, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.NumInputs() != 0 || len(s.LiveIn) != 0 {
+		t.Fatalf("store of r0 must yield the empty slice, got %+v", s)
+	}
+}
+
+// TestStaticStoreIndexOutOfRange pins the error paths for bad store indices.
+func TestStaticStoreIndexOutOfRange(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.ST, Rt: 1, Rs: 2, Imm: 0},
+	}
+	for _, idx := range []int{-1, 1, 99} {
+		if _, err := Backward(code, idx); err == nil {
+			t.Errorf("store index %d must be rejected", idx)
+		}
+	}
+	if _, err := Backward(nil, 0); err == nil {
+		t.Error("empty window must be rejected")
+	}
+}
+
+// TestValidateAcceptsCompiledSlices checks the runtime verifier on slices the
+// tracker actually emits.
+func TestValidateAcceptsCompiledSlices(t *testing.T) {
+	s := newRegSim()
+	s.load(1, 6)
+	s.load(2, 5)
+	s.exec(isa.Instr{Op: isa.MUL, Rd: 3, Rs: 1, Rt: 1})
+	s.exec(isa.Instr{Op: isa.SHLI, Rd: 4, Rs: 2, Imm: 1})
+	s.exec(isa.Instr{Op: isa.ADD, Rd: 5, Rs: 3, Rt: 4})
+	c, err := s.t.CompileVerified(s.t.Recipe(0, 5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateRejectsImpureOp checks that a Slice containing a non-ALU op is
+// rejected with a diagnostic naming the op.
+func TestValidateRejectsImpureOp(t *testing.T) {
+	c := &Compiled{
+		Inputs: []int64{1},
+		Ops: []COp{
+			{Op: isa.LD, A: 0, B: -1, C: -1},
+		},
+	}
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "not a pure ALU/FPU") {
+		t.Fatalf("impure op must be rejected, got %v", err)
+	}
+}
+
+// TestValidateRejectsForwardReference checks the topological-order
+// obligation: an op may only read inputs and earlier results.
+func TestValidateRejectsForwardReference(t *testing.T) {
+	c := &Compiled{
+		Inputs: []int64{1},
+		Ops: []COp{
+			{Op: isa.ADDI, A: 2, B: -1, C: -1, Imm: 1}, // slot 2 is its own future
+		},
+	}
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "topologically") {
+		t.Fatalf("forward reference must be rejected, got %v", err)
+	}
+	c.Ops[0].A = -7
+	if err := c.Validate(); err == nil {
+		t.Fatal("operand slot below -1 must be rejected")
+	}
+}
+
+// TestCompileVerifiedBudgetSentinel checks that opaque/over-budget recipes
+// are reported with the budget error, distinct from a soundness violation.
+func TestCompileVerifiedBudgetSentinel(t *testing.T) {
+	s := newRegSim()
+	s.load(1, 3)
+	for i := 0; i < 6; i++ {
+		s.exec(isa.Instr{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1})
+	}
+	if _, err := s.t.CompileVerified(s.t.Recipe(0, 1), 3); err == nil {
+		t.Fatal("over-budget recipe must fail to compile")
+	}
+	if c, err := s.t.CompileVerified(s.t.Recipe(0, 1), 10); err != nil || c.Len() != 6 {
+		t.Fatalf("in-budget recipe must verify, got %v (len %d)", err, c.Len())
+	}
+}

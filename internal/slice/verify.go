@@ -1,0 +1,29 @@
+package slice
+
+import "fmt"
+
+// Validate checks the runtime half of the Slice soundness contract on a
+// compiled Slice: every op must be a pure ALU/FPU instruction and every
+// operand must reference either a buffered input slot or the result of an
+// earlier op (topological order). These are the same proof obligations the
+// static verifier (internal/analysis) discharges for compiler-pass slices —
+// purity and operand closure — restated over the slot encoding. Tracker.
+// Compile applies Validate to every Slice it emits, so a malformed Slice is
+// rejected with a diagnostic instead of silently corrupting recovery.
+func (c *Compiled) Validate() error {
+	base := len(c.Inputs)
+	for j, op := range c.Ops {
+		if !op.Op.IsALU() {
+			return fmt.Errorf("slice: op %d (%v) is not a pure ALU/FPU instruction; slices must not contain memory, branch or system ops", j, op.Op)
+		}
+		for _, slot := range [3]int32{op.A, op.B, op.C} {
+			if slot < -1 {
+				return fmt.Errorf("slice: op %d (%v) has invalid operand slot %d", j, op.Op, slot)
+			}
+			if int(slot) >= base+j {
+				return fmt.Errorf("slice: op %d (%v) reads slot %d, which is not produced before it (have %d inputs and %d earlier ops); operands must be topologically ordered", j, op.Op, slot, base, j)
+			}
+		}
+	}
+	return nil
+}

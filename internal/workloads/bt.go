@@ -15,7 +15,7 @@ import (
 // bt). Stored values are produced by 5x5-block factorisation arithmetic; the
 // depth profile below calibrates the Slice-length distribution to Table II:
 // ≤10: 36.5%, ≤20: 45%, ≤30: 85%, ≤40: 88%, ≤50: 90%.
-func BuildBT(threads int, class Class) *prog.Program {
+func BuildBT(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("bt")
 	n := int64(class.N)
 	u := b.Data(threads * class.N)
@@ -58,5 +58,5 @@ func BuildBT(threads int, class Class) *prog.Program {
 		allToAllReduce(b, shared)
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

@@ -17,7 +17,7 @@ import (
 // threshold 10 only the shortest rows qualify. The sparsity profile below
 // lands the Table II staircase: ≤10: ≈7%, ≤20: ≈67%, ≤30: ≈90%, then flat
 // (the longest rows never qualify, exactly as cg plateaus at 89.8%).
-func BuildCG(threads int, class Class) *prog.Program {
+func BuildCG(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("cg")
 	n := int64(class.N)
 	maxNnz := int64(60)
@@ -132,5 +132,5 @@ func BuildCG(threads int, class Class) *prog.Program {
 		allToAllReduce(b, shared)
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

@@ -16,7 +16,7 @@ import (
 // checkpoint (58.3%, Fig. 9) and the highest energy reduction under errors
 // (§V-B). Threads aggregate independently and merge pairwise every few
 // iterations, so coordinated-local checkpointing sees small groups (§V-E).
-func BuildDC(threads int, class Class) *prog.Program {
+func BuildDC(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("dc")
 	n := int64(class.N)
 	tuples := b.Data(threads * class.N)
@@ -65,5 +65,5 @@ func BuildDC(threads int, class Class) *prog.Program {
 		imbalance(b, 24)
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

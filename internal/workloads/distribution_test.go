@@ -17,7 +17,10 @@ func measureReduction(t *testing.T, name string, threshold int) float64 {
 		t.Fatal(err)
 	}
 	tiny := Class{Name: "T", N: 32, Iters: 24}
-	p := bench.Build(4, tiny)
+	p, err := bench.Build(4, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base, err := sim.New(sim.DefaultConfig(4), p)
 	if err != nil {
 		t.Fatal(err)
@@ -32,7 +35,11 @@ func measureReduction(t *testing.T, name string, threshold int) float64 {
 	cfg.ACR = acr.Config{Threshold: threshold, MapCapacity: 4096 * 4}
 	cfg.PeriodCycles = baseRes.Cycles / 7
 	cfg.ROIStartCycles = int64(float64(baseRes.Cycles) * bench.WarmupFrac)
-	m, err := sim.New(cfg, bench.Build(4, tiny))
+	p2, err := bench.Build(4, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(cfg, p2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -182,7 +182,6 @@ func allToAllReduce(b *prog.Builder, sharedBase int64) {
 	b.StAssoc(rVal, rAddr, 0)
 	b.Barrier()
 	b.Li(rAcc, 0)
-	b.Li(rEnd, 0)
 	b.Loop(rTmp, prog.RegNTHR, func() {
 		b.OpI(isa.MULI, rAddr, rTmp, lineWords)
 		b.OpI(isa.ADDI, rAddr, rAddr, sharedBase)

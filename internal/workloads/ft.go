@@ -16,7 +16,7 @@ import (
 // ≤30: 88%, ≤40: 99.5%). Threads exchange with block-stable partners
 // (transpose sub-blocks) and carry imbalanced work, so ft benefits most
 // from coordinated-local checkpointing (§V-E reports ≈42%).
-func BuildFT(threads int, class Class) *prog.Program {
+func BuildFT(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("ft")
 	n := int64(class.N)
 	x := b.Data(threads * class.N)
@@ -53,5 +53,5 @@ func BuildFT(threads int, class Class) *prog.Program {
 		imbalance(b, 48)
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

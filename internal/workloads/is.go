@@ -20,7 +20,7 @@ import (
 // of values recomputable at 10, 75.74% at 5). Threads exchange bucket
 // boundaries pairwise and are imbalanced, so is benefits strongly from
 // coordinated-local checkpointing (§V-E, ≈36%).
-func BuildIS(threads int, class Class) *prog.Program {
+func BuildIS(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("is")
 	n := int64(class.N)
 	nBuckets := int64(32)
@@ -88,5 +88,5 @@ func BuildIS(threads int, class Class) *prog.Program {
 		imbalance(b, 40)
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

@@ -14,7 +14,7 @@ import (
 // checkpointing buys lu little (§V-E reports ≈10%). The SSOR block depth
 // profile calibrates Table II: ≤10: 42.7%, ≤20: 46.7%, ≤30: 64.4%,
 // ≤40: 74.7%, ≤50: 81.1%.
-func BuildLU(threads int, class Class) *prog.Program {
+func BuildLU(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("lu")
 	n := int64(class.N)
 	u := b.Data(threads * class.N)
@@ -54,5 +54,5 @@ func BuildLU(threads int, class Class) *prog.Program {
 		b.Barrier()
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

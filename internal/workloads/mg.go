@@ -15,7 +15,7 @@ import (
 // given V-cycle level only a block-stable subset of threads exchange, so
 // the per-interval communication graph is pairs and coordinated-local
 // checkpointing helps (§V-E, ≈32%).
-func BuildMG(threads int, class Class) *prog.Program {
+func BuildMG(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("mg")
 	n := int64(class.N)
 	u := b.Data(threads * class.N)
@@ -46,5 +46,5 @@ func BuildMG(threads int, class Class) *prog.Program {
 		imbalance(b, 32)
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

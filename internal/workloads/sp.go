@@ -13,7 +13,7 @@ import (
 // (rather than block) factorisation yields somewhat shorter chains than bt;
 // the profile calibrates Table II: ≤10: 37.4%, ≤20: 47.9%, ≤30: 71.8%,
 // ≤40: 93.8%, ≤50: 96.1%.
-func BuildSP(threads int, class Class) *prog.Program {
+func BuildSP(threads int, class Class) (*prog.Program, error) {
 	b := prog.New("sp")
 	n := int64(class.N)
 	u := b.Data(threads * class.N)
@@ -42,5 +42,5 @@ func BuildSP(threads int, class Class) *prog.Program {
 		allToAllReduce(b, shared)
 	})
 	b.Halt()
-	return b.MustBuild()
+	return b.Build()
 }

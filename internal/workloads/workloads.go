@@ -71,8 +71,10 @@ type Bench struct {
 	// largest checkpoint amnesia-resistant, Fig. 9); the solver kernels
 	// start measuring after the arrays are warm.
 	WarmupFrac float64
-	// Build assembles the program for the given thread count and class.
-	Build func(threads int, class Class) *prog.Program
+	// Build assembles the program for the given thread count and class. It
+	// fails (rather than panics) if the kernel emitted malformed code, e.g.
+	// a branch whose label was never placed.
+	Build func(threads int, class Class) (*prog.Program, error)
 }
 
 var registry = []Bench{

@@ -44,7 +44,10 @@ func TestClassByName(t *testing.T) {
 func TestAllProgramsValidate(t *testing.T) {
 	for _, bench := range All() {
 		for _, threads := range []int{4, 8} {
-			p := bench.Build(threads, ClassS)
+			p, err := bench.Build(threads, ClassS)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", bench.Name, threads, err)
+			}
 			if err := p.Validate(); err != nil {
 				t.Errorf("%s/%d: %v", bench.Name, threads, err)
 			}
@@ -60,7 +63,10 @@ func TestAllBenchmarksRunToCompletion(t *testing.T) {
 	for _, bench := range All() {
 		bench := bench
 		t.Run(bench.Name, func(t *testing.T) {
-			p := bench.Build(4, tiny)
+			p, err := bench.Build(4, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
 			m, err := sim.New(sim.DefaultConfig(4), p)
 			if err != nil {
 				t.Fatal(err)
@@ -79,13 +85,19 @@ func TestAllBenchmarksRunToCompletion(t *testing.T) {
 func TestBenchmarksDeterministic(t *testing.T) {
 	tiny := Class{Name: "T", N: 16, Iters: 4}
 	for _, bench := range All() {
-		p1 := bench.Build(4, tiny)
+		p1, err := bench.Build(4, tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
 		m1, _ := sim.New(sim.DefaultConfig(4), p1)
 		r1, err := m1.Run()
 		if err != nil {
 			t.Fatalf("%s: %v", bench.Name, err)
 		}
-		p2 := bench.Build(4, tiny)
+		p2, err := bench.Build(4, tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
 		m2, _ := sim.New(sim.DefaultConfig(4), p2)
 		r2, err := m2.Run()
 		if err != nil {
@@ -107,7 +119,10 @@ func TestCommunicationShapes(t *testing.T) {
 	for _, bench := range All() {
 		bench := bench
 		t.Run(bench.Name, func(t *testing.T) {
-			p := bench.Build(4, tiny)
+			p, err := bench.Build(4, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
 			m, err := sim.New(sim.DefaultConfig(4), p)
 			if err != nil {
 				t.Fatal(err)
