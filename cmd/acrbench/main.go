@@ -13,11 +13,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"acr/internal/bench"
 	"acr/internal/stats"
+	"acr/internal/telemetry"
 	"acr/internal/workloads"
 )
 
@@ -27,7 +33,18 @@ func main() {
 	class := flag.String("class", "W", "problem class (S, W, A)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := flag.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	verbose := flag.Bool("v", false, "print per-job wall-time and queue-wait reports")
+	metricsDir := flag.String("metrics-dir", "", "write driver metrics (driver.prom, driver.json) into this directory")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "acrbench: pprof:", err)
+			}
+		}()
+	}
 
 	cl, err := workloads.ClassByName(*class)
 	if err != nil {
@@ -36,6 +53,7 @@ func main() {
 	p := bench.Params{Threads: *threads, Class: cl}
 	r := bench.NewRunner()
 	r.Workers = *jobs
+	start := time.Now()
 
 	type gen func() (*stats.Table, error)
 	experiments := []struct {
@@ -88,6 +106,98 @@ func main() {
 	if matched == 0 {
 		fatal(fmt.Errorf("no experiment matches %q", *exp))
 	}
+	elapsed := time.Since(start)
+
+	if *verbose {
+		reportJobs(r.Reports(), elapsed)
+	}
+	if *metricsDir != "" {
+		if err := writeDriverMetrics(*metricsDir, r.Reports(), elapsed, *exp, p); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// reportJobs prints the driver's per-job execution profile: when each job
+// was dispatched, how long its simulation took, and which jobs were free
+// rides on the memoised cache.
+func reportJobs(reports []bench.JobReport, elapsed time.Duration) {
+	if len(reports) == 0 {
+		return
+	}
+	t := &stats.Table{
+		Title: "driver jobs (host time)",
+		Cols:  []string{"job", "bench", "config", "threads", "class", "queue_ms", "wall_ms", "shared"},
+	}
+	var simWall time.Duration
+	shared := 0
+	for i, rep := range reports {
+		if rep.Shared {
+			shared++
+		} else {
+			simWall += rep.Wall
+		}
+		t.AddRow(fmt.Sprintf("%d", i),
+			rep.Job.Bench, rep.Job.Spec.String(),
+			fmt.Sprintf("%d", rep.Job.Params.Threads), rep.Job.Params.Class.Name,
+			fmt.Sprintf("%.1f", float64(rep.QueueWait.Microseconds())/1e3),
+			fmt.Sprintf("%.1f", float64(rep.Wall.Microseconds())/1e3),
+			fmt.Sprintf("%v", rep.Shared))
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\n%d jobs (%d shared via memoisation), simulated %.2fs of host work in %.2fs elapsed (%.2fx)\n",
+		len(reports), shared, simWall.Seconds(), elapsed.Seconds(),
+		simWall.Seconds()/elapsed.Seconds())
+}
+
+// writeDriverMetrics exports the driver's own execution profile — not
+// simulated results — as driver.prom and driver.json under dir.
+func writeDriverMetrics(dir string, reports []bench.JobReport, elapsed time.Duration, exp string, p bench.Params) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
+	jobsTotal := reg.Counter("acrbench_jobs_total",
+		"RunAll jobs executed by the driver.", "shared")
+	wallTotal := reg.Counter("acrbench_job_wall_seconds_total",
+		"Host wall time inside simulation calls, per benchmark.", "bench")
+	wallHist := reg.Histogram("acrbench_job_wall_seconds",
+		"Per-job host wall time.", []float64{0.001, 0.01, 0.1, 1, 10, 60})
+	queueHist := reg.Histogram("acrbench_job_queue_wait_seconds",
+		"Per-job queue wait before a worker picked it up.", []float64{0.001, 0.01, 0.1, 1, 10, 60})
+	for _, rep := range reports {
+		jobsTotal.With(fmt.Sprintf("%v", rep.Shared)).Add(1)
+		wallTotal.With(rep.Job.Bench).Add(rep.Wall.Seconds())
+		wallHist.Observe(rep.Wall.Seconds())
+		queueHist.Observe(rep.QueueWait.Seconds())
+	}
+	reg.Gauge("acrbench_elapsed_seconds", "Driver wall time.").Set(elapsed.Seconds())
+
+	pf, err := os.Create(filepath.Join(dir, "driver.prom"))
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	meta := map[string]string{
+		"exp":     exp,
+		"class":   p.Class.Name,
+		"threads": strconv.Itoa(p.Threads),
+	}
+	jf, err := os.Create(filepath.Join(dir, "driver.json"))
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteProfile(jf, meta, reg); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
 }
 
 func fatal(err error) {

@@ -5,18 +5,29 @@
 //
 //	acrsim -bench is [-config ReCkpt_E] [-threads 8] [-class W]
 //	       [-ckpts 25] [-errors 1] [-threshold 0] [-v]
+//	       [-trace out.json] [-metrics out.prom] [-profile out.json]
 //
 // The configuration names follow the paper (§IV): NoCkpt, Ckpt_NE, Ckpt_E,
 // ReCkpt_NE, ReCkpt_E and their ",Loc" coordinated-local variants.
+//
+// -trace writes the run's cycle-domain timeline as Chrome trace-event JSON
+// (load it at https://ui.perfetto.dev), -metrics writes a Prometheus text
+// exposition and -profile a self-describing JSON run profile. Telemetry
+// observes a deterministic replay of the configured run, so the reported
+// summary is bit-identical with or without these flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"acr/internal/bench"
+	"acr/internal/sim"
+	"acr/internal/telemetry"
 	"acr/internal/workloads"
 )
 
@@ -29,6 +40,9 @@ func main() {
 	errs := flag.Int("errors", 0, "override error count for _E configurations")
 	threshold := flag.Int("threshold", 0, "Slice-length threshold override (0 = benchmark default)")
 	verbose := flag.Bool("v", false, "print checkpoint interval details")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	metricsOut := flag.String("metrics", "", "write Prometheus text exposition to this file")
+	profileOut := flag.String("profile", "", "write JSON run profile to this file")
 	flag.Parse()
 
 	cl, err := workloads.ClassByName(*class)
@@ -58,6 +72,13 @@ func main() {
 		fatal(err)
 	}
 	base, res := out[0], out[1]
+
+	if *traceOut != "" || *metricsOut != "" || *profileOut != "" {
+		if err := exportTelemetry(r, *benchName, p, spec, res,
+			*traceOut, *metricsOut, *profileOut); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Printf("benchmark    %s (class %s, %d threads)\n", *benchName, cl.Name, *threads)
 	fmt.Printf("config       %s\n", spec)
@@ -97,6 +118,74 @@ func main() {
 			fmt.Printf("%8d  %13d  %6d  %7d  %10.2f\n", i+1, iv.Size(), iv.Logged, iv.Omitted, red)
 		}
 	}
+}
+
+// exportTelemetry replays the configured run once with a metrics Collector
+// and (optionally) a Chrome tracer attached, then writes the requested
+// artifacts. The replay reuses the calibrated period from the memoised run,
+// so it is bit-identical to the summary already printed — a divergence is
+// a determinism bug and aborts the export.
+func exportTelemetry(r *bench.Runner, benchName string, p bench.Params, spec bench.Spec,
+	want sim.Result, traceOut, metricsOut, profileOut string) error {
+	reg := telemetry.NewRegistry()
+	col := telemetry.NewCollector(reg)
+	obs := []sim.Observer{col}
+
+	var tracer *telemetry.Tracer
+	if traceOut != "" {
+		tf, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, p.Threads)
+		obs = append(obs, tracer)
+	}
+
+	res, err := r.RunObserved(benchName, p, spec, obs...)
+	if err != nil {
+		return err
+	}
+	if res.Cycles != want.Cycles || res.Instrs != want.Instrs {
+		return fmt.Errorf("telemetry replay diverged: %d cycles / %d instrs, want %d / %d",
+			res.Cycles, res.Instrs, want.Cycles, want.Instrs)
+	}
+	col.ObserveResult(res)
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace %s: %w", traceOut, err)
+		}
+	}
+	if metricsOut != "" {
+		if err := writeFile(metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	if profileOut != "" {
+		meta := map[string]string{
+			"bench":   benchName,
+			"class":   p.Class.Name,
+			"threads": strconv.Itoa(p.Threads),
+			"config":  spec.String(),
+		}
+		return writeFile(profileOut, func(w io.Writer) error {
+			return telemetry.WriteProfile(w, meta, reg)
+		})
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func parseSpec(name string) (bench.Spec, error) {

@@ -1,0 +1,73 @@
+// Command tracecheck validates telemetry artifacts produced by acrsim and
+// acrbench: Chrome trace-event JSON, Prometheus text expositions and JSON
+// run profiles. CI's smoke step runs it against fresh artifacts; exit
+// status 1 means a malformed file.
+//
+// Usage:
+//
+//	tracecheck [-trace out.json] [-metrics out.prom] [-profile profile.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acr/internal/telemetry"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	metricsPath := flag.String("metrics", "", "Prometheus exposition file to validate")
+	profilePath := flag.String("profile", "", "JSON run profile to validate")
+	flag.Parse()
+
+	if *tracePath == "" && *metricsPath == "" && *profilePath == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: nothing to check (want -trace, -metrics and/or -profile)")
+		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		n := check(*tracePath, func(f *os.File) (int, error) {
+			return telemetry.ValidateTrace(f)
+		})
+		fmt.Printf("trace    %s: %d events ok\n", *tracePath, n)
+	}
+	if *metricsPath != "" {
+		var st telemetry.ExpositionStats
+		check(*metricsPath, func(f *os.File) (int, error) {
+			var err error
+			st, err = telemetry.ParseExposition(f)
+			return st.Samples, err
+		})
+		fmt.Printf("metrics  %s: %d families, %d samples ok\n", *metricsPath, st.Families, st.Samples)
+	}
+	if *profilePath != "" {
+		n := check(*profilePath, func(f *os.File) (int, error) {
+			p, err := telemetry.ReadProfile(f)
+			if err != nil {
+				return 0, err
+			}
+			return len(p.Families), nil
+		})
+		fmt.Printf("profile  %s: %d families ok\n", *profilePath, n)
+	}
+}
+
+func check(path string, validate func(*os.File) (int, error)) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := validate(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

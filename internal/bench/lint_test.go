@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"io"
 	"testing"
 
 	"acr/internal/analysis"
+	"acr/internal/telemetry"
 	"acr/internal/workloads"
 )
 
@@ -16,7 +18,7 @@ func TestAllWorkloadsLintClean(t *testing.T) {
 	classes := []workloads.Class{workloads.ClassS, workloads.ClassW, workloads.ClassA}
 	for _, bench := range workloads.All() {
 		for _, class := range classes {
-			for _, threads := range []int{4, 16} {
+			for _, threads := range []int{4, 8, 16} {
 				p, err := bench.Build(threads, class)
 				if err != nil {
 					t.Fatalf("%s/%s/%d: %v", bench.Name, class.Name, threads, err)
@@ -30,5 +32,52 @@ func TestAllWorkloadsLintClean(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestInstrumentedRunsLintClean is the telemetry wing of the lint gate:
+// attaching the full observability stack (metrics Collector + Chrome
+// tracer) to a run must introduce no new static-analysis diagnostics on the
+// executed kernel. The program is linted before and after an observed run;
+// both passes must be clean and identical — probe wiring is one-way and
+// never rewrites kernel code.
+func TestInstrumentedRunsLintClean(t *testing.T) {
+	const threads = 4
+	r := NewRunner()
+	p := Params{Threads: threads, Class: workloads.ClassS}
+	for _, name := range []string{"is", "cg"} {
+		bench, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lint := func(label string) []analysis.Diag {
+			prog, err := bench.Build(threads, p.Class)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", name, label, err)
+			}
+			diags, err := analysis.Lint(prog)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", name, label, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s (%s): %s", name, label, d)
+			}
+			return diags
+		}
+		lint("before instrumented run")
+
+		reg := telemetry.NewRegistry()
+		col := telemetry.NewCollector(reg)
+		tracer := telemetry.NewTracer(io.Discard, threads)
+		res, err := r.RunObserved(name, p, ReCkptNE, col, tracer)
+		if err != nil {
+			t.Fatalf("%s: observed run: %v", name, err)
+		}
+		col.ObserveResult(res)
+		if err := tracer.Close(); err != nil {
+			t.Fatalf("%s: tracer: %v", name, err)
+		}
+
+		lint("after instrumented run")
 	}
 }

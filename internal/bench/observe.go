@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"acr/internal/sim"
+	"acr/internal/workloads"
+)
+
+// RunObserved executes benchmark benchName under spec with observers
+// attached to the machine's event stream.
+//
+// Observers cannot attach through Run: checkpoint-period calibration
+// (Runner.run) may execute a configuration several times before its fixed
+// point converges, so an observer there would see the concatenation of
+// calibration attempts. RunObserved instead obtains the memoised, calibrated
+// Result first, then re-executes exactly once with the realised period and
+// ROI echoed in that Result. The simulator is deterministic, so the replay
+// is bit-identical to the cached run — the observers see the single
+// converged execution, and the returned Result equals Run's.
+func (r *Runner) RunObserved(benchName string, p Params, spec Spec, obs ...sim.Observer) (sim.Result, error) {
+	bench, err := workloads.ByName(benchName)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if !spec.Ckpt {
+		return r.execute(bench, p, spec, 0, 0, 0, obs...)
+	}
+	res, err := r.Run(benchName, p, spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	n := spec.NumCkpts
+	if n == 0 {
+		n = DefaultNumCkpts
+	}
+	return r.execute(bench, p, spec, res.PeriodCycles, int64(n), res.ROIStartCycles, obs...)
+}

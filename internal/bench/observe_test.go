@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"acr/internal/sim"
+	"acr/internal/workloads"
+)
+
+type streamRecorder struct {
+	events []sim.Event
+}
+
+func (o *streamRecorder) OnEvent(e sim.Event) { o.events = append(o.events, e) }
+
+func observeParams() Params { return Params{Threads: 4, Class: workloads.ClassS} }
+
+// TestRunObservedMatchesRun: the observed replay of a calibrated
+// checkpointed run returns a Result bit-identical to the memoised one —
+// the observers watched the same execution the tables report.
+func TestRunObservedMatchesRun(t *testing.T) {
+	r := NewRunner()
+	p := observeParams()
+	want, err := r.Run("is", p, ReCkptE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &streamRecorder{}
+	got, err := r.RunObserved("is", p, ReCkptE, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("observed replay diverged from memoised run:\n%+v\n%+v", want, got)
+	}
+	if len(obs.events) == 0 {
+		t.Fatal("observer saw no events")
+	}
+	kinds := map[sim.EventKind]int{}
+	for _, e := range obs.events {
+		kinds[e.Kind]++
+	}
+	if kinds[sim.EvCheckpoint] == 0 || kinds[sim.EvRecovery] == 0 {
+		t.Errorf("stream missing checkpoint/recovery events: %v", kinds)
+	}
+}
+
+// TestObserverStreamStableAcrossDrivers: the event stream RunObserved
+// delivers is identical whether the runner's cache was warmed serially or
+// through the parallel worker pool — scheduling the grid differently must
+// not change what any single run looks like.
+func TestObserverStreamStableAcrossDrivers(t *testing.T) {
+	p := observeParams()
+	jobs := []Job{
+		{Bench: "is", Params: p, Spec: NoCkpt},
+		{Bench: "is", Params: p, Spec: ReCkptNE},
+		{Bench: "is", Params: p, Spec: ReCkptE},
+	}
+	stream := func(workers int) []sim.Event {
+		r := NewRunner()
+		r.Workers = workers
+		if _, err := r.RunAll(jobs); err != nil {
+			t.Fatal(err)
+		}
+		obs := &streamRecorder{}
+		if _, err := r.RunObserved("is", p, ReCkptE, obs); err != nil {
+			t.Fatal(err)
+		}
+		return obs.events
+	}
+	serial := stream(1)
+	parallel := stream(4)
+	if len(serial) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("event stream depends on the driver: %d events serial, %d parallel",
+			len(serial), len(parallel))
+	}
+}
+
+// TestJobReports: RunAll populates one report per job in submission order;
+// a job whose cache entry already exists is marked Shared (it rode on the
+// earlier execution instead of paying for its own).
+func TestJobReports(t *testing.T) {
+	r := NewRunner()
+	r.Workers = 1 // serial keeps the Shared attribution deterministic
+	p := observeParams()
+	jobs := []Job{
+		{Bench: "is", Params: p, Spec: NoCkpt},
+		{Bench: "is", Params: p, Spec: ReCkptNE},
+		{Bench: "is", Params: p, Spec: NoCkpt}, // duplicate of job 0
+	}
+	if _, err := r.RunAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	reports := r.Reports()
+	if len(reports) != len(jobs) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(jobs))
+	}
+	for i, rep := range reports {
+		if rep.Job != jobs[i] {
+			t.Errorf("report %d is for %+v, want %+v", i, rep.Job, jobs[i])
+		}
+		if rep.Wall <= 0 {
+			t.Errorf("report %d: non-positive wall time %v", i, rep.Wall)
+		}
+		if rep.QueueWait < 0 {
+			t.Errorf("report %d: negative queue wait %v", i, rep.QueueWait)
+		}
+	}
+	if reports[0].Shared {
+		t.Error("first NoCkpt job marked shared")
+	}
+	// Job 1 calibrates against the NoCkpt baseline job 0 computed, and job 2
+	// repeats job 0 outright: both must be free rides.
+	if !reports[2].Shared {
+		t.Error("duplicate NoCkpt job not marked shared")
+	}
+
+	// A second RunAll over an already-warm cache is all shared.
+	if _, err := r.RunAll(jobs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	reports = r.Reports()
+	if len(reports) != len(jobs)+1 {
+		t.Fatalf("reports did not accumulate: %d", len(reports))
+	}
+	if !reports[len(reports)-1].Shared {
+		t.Error("warm-cache job not marked shared")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"acr/internal/sim"
 )
@@ -16,6 +17,44 @@ type Job struct {
 	Spec   Spec
 }
 
+func (j Job) key() runKey {
+	return runKey{j.Bench, j.Params.Threads, j.Params.Class.Name, j.Spec}
+}
+
+// JobReport records how one RunAll job executed. QueueWait is the time the
+// job sat behind other jobs before a worker picked it up; Wall is the time
+// inside the (memoised) Run call; Shared marks jobs whose cache entry
+// already existed when they started — they rode on another job's execution
+// (or an earlier RunAll) instead of paying for their own.
+type JobReport struct {
+	Job       Job
+	QueueWait time.Duration
+	Wall      time.Duration
+	Shared    bool
+}
+
+// Reports returns the per-job reports accumulated across this runner's
+// RunAll calls, in submission order within each call. Wall and QueueWait
+// are host-time measurements: useful for driver diagnostics, never for
+// simulated results.
+func (r *Runner) Reports() []JobReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]JobReport(nil), r.reports...)
+}
+
+func (r *Runner) hasEntry(key runKey) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache[key] != nil
+}
+
+func (r *Runner) appendReports(reports []JobReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reports = append(r.reports, reports...)
+}
+
 // RunAll executes the jobs through the memoised cache with a worker pool
 // bounded by Runner.Workers (GOMAXPROCS when zero). Each sim.Machine is
 // fully independent, so the grid parallelises without coordination beyond
@@ -26,6 +65,23 @@ type Job struct {
 func (r *Runner) RunAll(jobs []Job) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	reports := make([]JobReport, len(jobs))
+	start := time.Now()
+	defer func() { r.appendReports(reports) }()
+
+	runOne := func(i int) {
+		j := jobs[i]
+		t0 := time.Now()
+		shared := r.hasEntry(j.key())
+		results[i], errs[i] = r.Run(j.Bench, j.Params, j.Spec)
+		reports[i] = JobReport{
+			Job:       j,
+			QueueWait: t0.Sub(start),
+			Wall:      time.Since(t0),
+			Shared:    shared,
+		}
+	}
+
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,11 +91,10 @@ func (r *Runner) RunAll(jobs []Job) ([]sim.Result, error) {
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			res, err := r.Run(j.Bench, j.Params, j.Spec)
-			if err != nil {
-				return nil, fmt.Errorf("job %d (%s %v): %w", i, j.Bench, j.Spec, err)
+			runOne(i)
+			if errs[i] != nil {
+				return nil, fmt.Errorf("job %d (%s %v): %w", i, j.Bench, j.Spec, errs[i])
 			}
-			results[i] = res
 		}
 		return results, nil
 	}
@@ -51,8 +106,7 @@ func (r *Runner) RunAll(jobs []Job) ([]sim.Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				j := jobs[i]
-				results[i], errs[i] = r.Run(j.Bench, j.Params, j.Spec)
+				runOne(i)
 			}
 		}()
 	}

@@ -111,8 +111,9 @@ type Runner struct {
 	// Workers bounds RunAll's worker pool; 0 means GOMAXPROCS.
 	Workers int
 
-	mu    sync.Mutex
-	cache map[runKey]*runEntry
+	mu      sync.Mutex
+	cache   map[runKey]*runEntry
+	reports []JobReport
 }
 
 // runEntry is one memoised cell: the once gate serialises computation so a
@@ -200,8 +201,9 @@ func (r *Runner) run(benchName string, p Params, spec Spec) (sim.Result, error) 
 	return res, nil
 }
 
-func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, period, maxCkpts, roi int64) (sim.Result, error) {
+func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, period, maxCkpts, roi int64, obs ...sim.Observer) (sim.Result, error) {
 	cfg := sim.DefaultConfig(p.Threads)
+	cfg.Observers = obs
 	if spec.Ckpt {
 		cfg.Checkpointing = true
 		cfg.PeriodCycles = period

@@ -72,6 +72,36 @@ type IntervalStat struct {
 // Size returns the baseline (non-amnesic) checkpoint size in words.
 func (s IntervalStat) Size() int64 { return s.Logged + s.Omitted }
 
+// ReplayLenBuckets are the upper bounds of the Slice replay-length
+// histogram, in instructions replayed per recomputed value; ReplayHist has
+// one extra overflow bucket for longer Slices.
+var ReplayLenBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64}
+
+// ReplayHist is a fixed-bucket histogram of Slice replay lengths observed
+// while recomputing amnesically omitted values during recoveries. Bucket i
+// counts replays of length ≤ ReplayLenBuckets[i] (cumulative-free: each
+// observation lands in exactly one bucket); the final bucket is overflow.
+type ReplayHist [len(ReplayLenBuckets) + 1]int64
+
+func (h *ReplayHist) observe(n int64) {
+	for i, ub := range ReplayLenBuckets {
+		if n <= ub {
+			h[i]++
+			return
+		}
+	}
+	h[len(ReplayLenBuckets)]++
+}
+
+// Total returns the number of observations across all buckets.
+func (h ReplayHist) Total() int64 {
+	t := int64(0)
+	for _, n := range h {
+		t += n
+	}
+	return t
+}
+
 // Stats aggregates manager activity over a run.
 type Stats struct {
 	Checkpoints  int64
@@ -83,6 +113,10 @@ type Stats struct {
 	RestoredWords int64
 	// RecomputedWords counts the amnesic subset of RestoredWords.
 	RecomputedWords int64
+	// ReplayLens distributes the RecomputedWords by Slice replay length
+	// (the per-dependency instrumentation that makes recomputation-cost
+	// claims auditable).
+	ReplayLens ReplayHist
 }
 
 // EstablishInfo reports what a checkpoint establishment did, per
@@ -358,6 +392,7 @@ func (m *Manager) applyLog(log []LogEntry, info *RollbackInfo) {
 			val = v
 			info.RecomputeCycles[e.Rec.Core] += cycles
 			info.RecomputedValues++
+			m.stats.ReplayLens.observe(int64(e.Rec.Slice.Len()))
 		} else {
 			// Read the entry (address + old value) from the log.
 			m.meter.Add(energy.DRAMRead, 2)

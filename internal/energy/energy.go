@@ -103,6 +103,20 @@ func (m *Meter) AddLeakage(coreCycles float64) {
 // Count returns the number of occurrences charged for e.
 func (m *Meter) Count(e Event) uint64 { return m.counts[e] }
 
+// Counts returns the non-zero per-event counts keyed by event name. The
+// breakdown is what telemetry exports to answer "where do the picojoules
+// go": multiplying each count by the model's per-event energy reproduces
+// DynamicPJ exactly.
+func (m *Meter) Counts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for e, n := range m.counts {
+		if n != 0 {
+			out[Event(e).String()] = n
+		}
+	}
+	return out
+}
+
 // TotalPJ returns the accumulated energy in picojoules.
 func (m *Meter) TotalPJ() float64 {
 	t := m.extraPJ

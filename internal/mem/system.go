@@ -48,6 +48,39 @@ type coreCaches struct {
 	l2  *Cache
 }
 
+// LevelStats counts one cache level's activity for one core. Writebacks
+// counts dirty victims migrated to the next level down (L1→L2, L2→DRAM).
+type LevelStats struct {
+	Hits, Misses, Writebacks int64
+}
+
+// CoreStats aggregates the private cache stack activity of one core.
+type CoreStats struct {
+	L1D, L2 LevelStats
+	// Fills counts line fills from DRAM (L2 misses serviced by memory).
+	Fills int64
+}
+
+// Stats is the whole-hierarchy activity summary. The counters are
+// maintained unconditionally — they are plain increments on paths that
+// already charge energy — and are pure observation: reading them has no
+// timing or energy effect, so results stay bit-identical whether or not
+// anything consumes them.
+type Stats struct {
+	// PerCore holds cache-stack counters indexed by core id.
+	PerCore []CoreStats
+	// CommEdges counts directory communication observations: accesses to a
+	// line another core wrote within the current checkpoint interval (the
+	// coherence traffic coordinated-local checkpointing keys off, §V-E).
+	CommEdges int64
+	// LogBitSets counts first-store log-bit transitions — the directory
+	// traffic that triggers checkpoint logging (§II-A).
+	LogBitSets int64
+	// FlushedLines counts dirty lines written back at checkpoint
+	// establishment.
+	FlushedLines int64
+}
+
 // System is the whole-machine memory subsystem.
 type System struct {
 	cfg    Config
@@ -74,6 +107,7 @@ type System struct {
 	comm []uint64
 
 	caches []coreCaches
+	stats  Stats
 }
 
 // NewSystem builds a memory system with the given number of data words.
@@ -99,7 +133,15 @@ func NewSystem(cfg Config, nCores, words int, meter *energy.Meter) *System {
 	for i := range s.caches {
 		s.caches[i] = coreCaches{l1d: NewCache(cfg.L1D), l2: NewCache(cfg.L2)}
 	}
+	s.stats.PerCore = make([]CoreStats, nCores)
 	return s
+}
+
+// Stats returns a copy of the hierarchy activity counters.
+func (s *System) Stats() Stats {
+	out := s.stats
+	out.PerCore = append([]CoreStats(nil), s.stats.PerCore...)
+	return out
 }
 
 // Words returns the size of data memory in words.
@@ -134,29 +176,38 @@ func (s *System) checkAddr(addr int64) {
 // back to memory.
 func (s *System) access(core int, line int64, store bool) int64 {
 	cc := &s.caches[core]
+	st := &s.stats.PerCore[core]
 	s.meter.Add(energy.L1DAccess, 1)
 	hit, victim, victimDirty := cc.l1d.Access(line, store)
 	if hit {
+		st.L1D.Hits++
 		return s.cfg.L1HitCycles
 	}
+	st.L1D.Misses++
 	if victimDirty {
 		// Write the dirty L1 victim back into L2.
+		st.L1D.Writebacks++
 		s.meter.Add(energy.L2Access, 1)
 		_, v2, v2Dirty := cc.l2.Access(victim, true)
 		if v2Dirty && v2 != victim {
+			st.L2.Writebacks++
 			s.meter.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
 		}
 	}
 	s.meter.Add(energy.L2Access, 1)
 	hit, victim, victimDirty = cc.l2.Access(line, false)
 	if hit {
+		st.L2.Hits++
 		return s.cfg.L2HitCycles
 	}
+	st.L2.Misses++
 	if victimDirty {
 		// Write-back from L2 to memory: one line of words.
+		st.L2.Writebacks++
 		s.meter.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
 	}
 	// Line fill from DRAM.
+	st.Fills++
 	s.meter.Add(energy.DRAMRead, uint64(s.cfg.LineWords))
 	return s.cfg.DRAMCycles
 }
@@ -189,6 +240,7 @@ func (s *System) Store(core int, addr, val int64) (old int64, first bool, cycles
 	if s.logBits[w]&(1<<b) == 0 {
 		s.logBits[w] |= 1 << b
 		first = true
+		s.stats.LogBitSets++
 	}
 	s.lastWriter[line] = int32(core) + 1
 	s.lastWriteIvl[line] = s.curInterval
@@ -200,6 +252,7 @@ func (s *System) observeComm(core int, line int64) {
 	if lw != 0 && int(lw-1) != core && s.lastWriteIvl[line] == s.curInterval {
 		s.comm[core] |= 1 << uint(lw-1)
 		s.comm[lw-1] |= 1 << uint(core)
+		s.stats.CommEdges++
 	}
 }
 
@@ -288,6 +341,7 @@ func (s *System) FlushDirty(groupMask uint64) int {
 		n += s.caches[c].l2.FlushDirty()
 		total += n
 	}
+	s.stats.FlushedLines += int64(total)
 	s.meter.Add(energy.DRAMWrite, uint64(total*s.cfg.LineWords))
 	return total
 }

@@ -73,7 +73,7 @@ func (co *ckptCoordinator) deferCheckpoint() bool {
 		return false
 	}
 	co.defers++
-	co.m.record(Event{Time: co.nextCkpt, Kind: EvDefer})
+	co.m.record(Event{Time: co.nextCkpt, Kind: EvDefer, Core: -1})
 	co.nextCkpt += co.m.cfg.PeriodCycles / 4
 	return true
 }
@@ -114,6 +114,9 @@ func (co *ckptCoordinator) establish() {
 	m := co.m
 	// Establishment start: the latest point any live core has reached.
 	tMax := m.sched.liveMax(0)
+	// The closing interval's volume, captured before Establish seals it:
+	// the per-checkpoint log traffic the event stream reports.
+	ivl := m.mgr.OpenInterval()
 	info := m.mgr.Establish(tMax, m.archStates())
 
 	maxRelease := tMax
@@ -155,7 +158,8 @@ func (co *ckptCoordinator) establish() {
 		co.ckptsDone++
 	}
 	co.defers = 0
-	m.record(Event{Time: tMax, Kind: EvCheckpoint, Detail: int64(m.mgr.Stats().LoggedWords)})
+	m.record(Event{Time: tMax, Kind: EvCheckpoint, Core: -1,
+		Detail: ivl.Logged, Aux: ivl.Omitted, Dur: maxRelease - tMax})
 	// Boundaries continue on the wall clock; if establishment (or a
 	// recovery) overshot several boundaries, take one checkpoint now and
 	// resume the cadence from here rather than firing a burst. The next

@@ -79,6 +79,10 @@ type Config struct {
 
 	// RecordTimeline retains checkpoint/recovery events in the Result.
 	RecordTimeline bool
+	// TimelineCap bounds the recorded timeline to the most recent N
+	// events (0 = unbounded). Result.TimelineDropped reports how many
+	// earlier events the ring buffer discarded.
+	TimelineCap int
 	// Observers receive the machine's event stream alongside the
 	// built-in timeline recorder. Observers must be deterministic and
 	// must not mutate machine state.
@@ -115,8 +119,23 @@ type Result struct {
 	Intervals []ckpt.IntervalStat
 	// AddrMap carries ACR statistics (zero value when not amnesic).
 	AddrMap acr.AddrMapStats
+	// Mem summarises memory-hierarchy activity: per-core hits/misses per
+	// cache level, directory traffic, flushed lines.
+	Mem mem.Stats
+	// EnergyEvents is the per-event energy count breakdown by event name
+	// (the decomposition of DynamicPJ).
+	EnergyEvents map[string]uint64
+	// PeriodCycles and ROIStartCycles echo the realised checkpoint
+	// cadence (zero when checkpointing is disabled), so exported run
+	// profiles are self-describing and an observed replay can reconstruct
+	// the exact configuration.
+	PeriodCycles   int64
+	ROIStartCycles int64
 	// Timeline is the event log (empty unless Config.RecordTimeline).
-	Timeline []Event
+	// When Config.TimelineCap is set, it is truncated to the most recent
+	// TimelineCap events and TimelineDropped counts the discarded rest.
+	Timeline        []Event
+	TimelineDropped int64
 }
 
 // EDP returns the energy-delay product in pJ·cycles.
@@ -131,6 +150,7 @@ const (
 	EvDefer
 	EvError
 	EvRecovery
+	EvBarrier
 )
 
 func (k EventKind) String() string {
@@ -143,20 +163,40 @@ func (k EventKind) String() string {
 		return "error"
 	case EvRecovery:
 		return "recovery"
+	case EvBarrier:
+		return "barrier"
 	}
 	return "event"
 }
 
-// Event is one entry of the machine's timeline: when checkpoints were
-// established, boundaries deferred, errors detected and recoveries
-// performed. The timeline is recorded only when Config.RecordTimeline is
-// set (it grows with the run).
+// Event is one entry of the machine's event stream: checkpoints
+// established, boundaries deferred, barriers released, errors detected and
+// recoveries performed. Per kind:
+//
+//   - EvCheckpoint: Time is the establishment start (latest live core
+//     clock), Dur the establishment stall (all groups released by
+//     Time+Dur), Detail the closing interval's logged words and Aux its
+//     amnesically omitted words.
+//   - EvDefer: Time is the deferred boundary's wall-clock time.
+//   - EvError: Time is the detection synchronisation point; Detail is the
+//     error's occurrence time.
+//   - EvRecovery: Time is the moment the stalled group resumes, Dur the
+//     recovery wall-cycles (detection point = Time-Dur), Detail the words
+//     restored and Aux the values recomputed along Slices.
+//   - EvBarrier: one event per participating core (Core set). Time is the
+//     synchronised release; Dur is that core's wait, including the
+//     synchronisation cost (arrival = Time-Dur).
 type Event struct {
 	Time int64
 	Kind EventKind
-	// Detail carries kind-specific counts: logged words for checkpoints,
-	// restored words for recoveries.
+	// Core identifies the participating core for per-core events
+	// (EvBarrier); machine-wide events carry -1.
+	Core int32
+	// Detail and Aux carry kind-specific counts (see above).
 	Detail int64
+	Aux    int64
+	// Dur is the span length in cycles for span-shaped events.
+	Dur int64
 }
 
 // Machine is a runnable simulated machine. It composes the scheduling,
@@ -208,6 +248,9 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 			return nil, err
 		}
 	}
+	if cfg.TimelineCap < 0 {
+		return nil, fmt.Errorf("sim: negative timeline cap %d", cfg.TimelineCap)
+	}
 
 	m := &Machine{cfg: cfg, program: p}
 	m.meter = energy.NewMeter(cfg.Energy)
@@ -254,7 +297,7 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 	}
 	m.observers = append(m.observers, cfg.Observers...)
 	if cfg.RecordTimeline {
-		m.timeline = &timelineRecorder{}
+		m.timeline = &timelineRecorder{cap: cfg.TimelineCap}
 		m.observers = append(m.observers, m.timeline)
 	}
 	return m, nil
@@ -358,12 +401,16 @@ func (m *Machine) Run() (Result, error) {
 	return m.result(), nil
 }
 
-// releaseBarrier resumes all barrier-waiting cores at the synchronised time.
+// releaseBarrier resumes all barrier-waiting cores at the synchronised time,
+// publishing one EvBarrier span per participant (arrival to release).
 func (m *Machine) releaseBarrier() {
 	t, n := m.sched.syncTime()
 	t += barrierCycles(n)
 	for _, c := range m.cores {
 		if c.State == cpu.AtBarrier {
+			if len(m.observers) > 0 {
+				m.record(Event{Time: t, Kind: EvBarrier, Core: int32(c.ID), Dur: t - c.Cycles()})
+			}
 			c.SetCycles(t)
 			c.SetState(cpu.Running)
 		}
@@ -390,15 +437,20 @@ func (m *Machine) result() Result {
 	m.meter.AddLeakage(float64(r.Cycles) * float64(len(m.cores)))
 	r.EnergyPJ = m.meter.TotalPJ()
 	r.DynamicPJ = m.meter.DynamicPJ()
+	r.EnergyEvents = m.meter.Counts()
+	r.Mem = m.sys.Stats()
 	if m.mgr != nil {
 		r.Ckpt = m.mgr.Stats()
 		r.Intervals = append(r.Intervals, m.mgr.Intervals()...)
+		r.PeriodCycles = m.cfg.PeriodCycles
+		r.ROIStartCycles = m.cfg.ROIStartCycles
 	}
 	if m.handler != nil {
 		r.AddrMap = m.handler.AddrMap().Stats()
 	}
 	if m.timeline != nil {
-		r.Timeline = m.timeline.events
+		r.Timeline = m.timeline.snapshot()
+		r.TimelineDropped = m.timeline.dropped
 	}
 	return r
 }

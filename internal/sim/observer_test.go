@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recordingObserver retains the full stream for assertions.
+type recordingObserver struct {
+	events []Event
+}
+
+func (o *recordingObserver) OnEvent(e Event) { o.events = append(o.events, e) }
+
+// TestObserverTimestampOrder pins the delivery contract documented on
+// Observer: events arrive in emission order with nondecreasing timestamps
+// (EvDefer, stamped at the boundary it defers, is the documented exception),
+// machine-wide events carry Core = -1, and per-core barrier events carry the
+// releasing core.
+func TestObserverTimestampOrder(t *testing.T) {
+	obs := &recordingObserver{}
+	cfg := errConfig(t, true, tCkpts, 1)
+	cfg.Observers = []Observer{obs}
+	runCfg(t, cfg)
+
+	if len(obs.events) == 0 {
+		t.Fatal("observer saw no events")
+	}
+	last := int64(0)
+	kinds := map[EventKind]int{}
+	for i, e := range obs.events {
+		kinds[e.Kind]++
+		switch e.Kind {
+		case EvBarrier:
+			if e.Core < 0 || int(e.Core) >= tThreads {
+				t.Fatalf("event %d: barrier core %d out of range", i, e.Core)
+			}
+			if e.Dur < 0 {
+				t.Fatalf("event %d: negative barrier wait %d", i, e.Dur)
+			}
+		case EvDefer:
+			// Boundary-time stamped; exempt from the ordering check.
+			continue
+		default:
+			if e.Core != -1 {
+				t.Fatalf("event %d: machine-wide %v has core %d, want -1", i, e.Kind, e.Core)
+			}
+		}
+		if e.Time < last {
+			t.Fatalf("event %d (%v) at %d precedes predecessor at %d", i, e.Kind, e.Time, last)
+		}
+		last = e.Time
+	}
+	if kinds[EvBarrier] == 0 {
+		t.Error("no barrier events delivered")
+	}
+	if kinds[EvCheckpoint] == 0 || kinds[EvError] != 1 || kinds[EvRecovery] != 1 {
+		t.Errorf("kind counts %v, want checkpoints>0 and one error/recovery pair", kinds)
+	}
+}
+
+// TestTimelineCap: with Config.TimelineCap set, Result.Timeline is the ring
+// buffer's view — the most recent cap events in emission order — and
+// TimelineDropped accounts for the discarded prefix.
+func TestTimelineCap(t *testing.T) {
+	full := errConfig(t, true, tCkpts, 1)
+	full.RecordTimeline = true
+	refRes, _ := runCfg(t, full)
+	if len(refRes.Timeline) <= 4 {
+		t.Fatalf("reference timeline too short (%d events) to exercise the cap", len(refRes.Timeline))
+	}
+
+	capped := errConfig(t, true, tCkpts, 1)
+	capped.RecordTimeline = true
+	capped.TimelineCap = 4
+	res, _ := runCfg(t, capped)
+
+	if len(res.Timeline) != 4 {
+		t.Fatalf("capped timeline has %d events, want 4", len(res.Timeline))
+	}
+	want := refRes.Timeline[len(refRes.Timeline)-4:]
+	if !reflect.DeepEqual(res.Timeline, want) {
+		t.Errorf("capped timeline is not the suffix of the full one:\n%+v\nwant\n%+v", res.Timeline, want)
+	}
+	if got, want := res.TimelineDropped, int64(len(refRes.Timeline)-4); got != want {
+		t.Errorf("TimelineDropped = %d, want %d", got, want)
+	}
+	if refRes.TimelineDropped != 0 {
+		t.Errorf("uncapped run dropped %d events", refRes.TimelineDropped)
+	}
+}
+
+// corruptingObserver violates the observer contract: it writes machine
+// memory from the callback.
+type corruptingObserver struct {
+	m *Machine
+}
+
+func (o *corruptingObserver) OnEvent(e Event) {
+	if e.Kind == EvBarrier {
+		o.m.Mem().WriteWord(0, 1<<40)
+	}
+}
+
+// TestMutatingObserverCaught demonstrates that the determinism/correctness
+// harness detects an observer that mutates machine state: clobbering one
+// word at barrier releases must surface as a divergence from the golden
+// memory image. (A checkpointed no-error run, so recovery cannot mask the
+// corruption.) If this test ever fails, observers have gained a way to
+// write state without the regression suite noticing.
+func TestMutatingObserverCaught(t *testing.T) {
+	obs := &corruptingObserver{}
+	cfg := ckptConfig(t, true, tCkpts)
+	cfg.Observers = []Observer{obs}
+	p := testKernel(tThreads, tPer, tIters)
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.m = m
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := memWords(m, p.DataWords)
+	want := golden(tThreads, tPer, tIters)
+	diverged := false
+	for i := range want {
+		if got[i] != want[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("mutating observer left no detectable trace in final memory")
+	}
+}

@@ -100,7 +100,8 @@ func (re *recoveryEngine) recover(errOccur, errDetect int64) error {
 		}
 	}
 	re.faults.Consume()
-	m.record(Event{Time: errOccur, Kind: EvError})
-	m.record(Event{Time: release, Kind: EvRecovery, Detail: info.WordsRestored})
+	m.record(Event{Time: tDetect, Kind: EvError, Core: -1, Detail: errOccur})
+	m.record(Event{Time: release, Kind: EvRecovery, Core: -1,
+		Detail: info.WordsRestored, Aux: info.RecomputedValues, Dur: release - tDetect})
 	return nil
 }

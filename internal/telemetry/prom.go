@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): # HELP / # TYPE headers, then one sample line per series,
+// histograms expanded into cumulative _bucket{le=...}, _sum and _count.
+// Families and series render in creation order, so deterministic
+// instrumentation yields byte-identical expositions.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families {
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.series {
+			if f.Kind != KindHistogram {
+				fmt.Fprintf(bw, "%s%s %s\n", f.Name,
+					labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(s.value))
+				continue
+			}
+			cum := uint64(0)
+			for i, n := range s.bucketCounts {
+				cum += n
+				le := "+Inf"
+				if i < len(f.buckets) {
+					le = formatValue(f.buckets[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name,
+					labelString(f.LabelNames, s.LabelValues, "le", le), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name,
+				labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(s.sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", f.Name,
+				labelString(f.LabelNames, s.LabelValues, "", ""), s.count)
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders {a="x",b="y"} plus an optional extra pair; empty
+// schemas with no extra render as "".
+func labelString(names, values []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders floats the way Prometheus expects: integers without
+// an exponent or trailing zeros.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExpositionStats summarises a parsed exposition.
+type ExpositionStats struct {
+	Families int
+	Samples  int
+}
+
+// ParseExposition validates Prometheus text exposition format: TYPE
+// comments naming a known kind, and sample lines of the shape
+// name{label="value",...} number. It returns family/sample counts, erroring
+// on the first malformed line. This is the validation half of the CI smoke
+// gate (and of round-trip tests against WritePrometheus).
+func ParseExposition(r io.Reader) (ExpositionStats, error) {
+	var st ExpositionStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return st, fmt.Errorf("line %d: malformed TYPE comment", line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return st, fmt.Errorf("line %d: unknown metric type %q", line, fields[3])
+				}
+				st.Families++
+			}
+			continue
+		}
+		if err := parseSample(text); err != nil {
+			return st, fmt.Errorf("line %d: %w", line, err)
+		}
+		st.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if st.Samples == 0 {
+		return st, fmt.Errorf("exposition contains no samples")
+	}
+	return st, nil
+}
+
+func parseSample(text string) error {
+	name := text
+	rest := ""
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		name = text[:i]
+		j := strings.LastIndexByte(text, '}')
+		if j < i {
+			return fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(text[i+1 : j]); err != nil {
+			return err
+		}
+		rest = strings.TrimSpace(text[j+1:])
+	} else {
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return fmt.Errorf("sample %q has no value", text)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	// Value, optionally followed by a timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp]", text)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("sample %q: bad value: %w", text, err)
+	}
+	return nil
+}
+
+func parseLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", s)
+		}
+		if !validMetricName(strings.TrimSpace(s[:eq])) {
+			return fmt.Errorf("invalid label name %q", s[:eq])
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label value not quoted")
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = strings.TrimSpace(s[end+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

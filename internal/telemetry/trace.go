@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"acr/internal/sim"
+)
+
+// tracePid is the single simulated-machine process in the trace.
+const tracePid = 1
+
+// Tracer implements sim.Observer by converting the event stream into Chrome
+// trace-event JSON (the format chrome://tracing and Perfetto load). It
+// streams: each event is encoded and written as it arrives through a
+// buffered writer, so long runs never buffer the whole timeline.
+//
+// Track layout: one thread track per core carrying alternating "run" and
+// "barrier" complete spans, one "checkpoint" track (tid = cores) with async
+// checkpoint spans and defer instants, and one "recovery" track
+// (tid = cores+1) with error instants and async recovery spans. Timestamps
+// are simulated cycles presented as microseconds (1 µs = 1 cycle) — the
+// cycle domain, not wall time.
+type Tracer struct {
+	w      *bufio.Writer
+	cores  int
+	n      int // events written
+	err    error
+	closed bool
+	// resume[c] is the cycle core c last left a barrier (run-span start).
+	resume  []int64
+	asyncID int
+}
+
+// NewTracer starts a trace for a machine with the given core count, writing
+// the opening bracket and track metadata immediately. Call Close when the
+// run finishes to terminate the JSON array.
+func NewTracer(w io.Writer, cores int) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), cores: cores, resume: make([]int64, cores)}
+	t.raw("[")
+	t.meta("process_name", tracePid, 0, map[string]any{"name": "acr machine"})
+	for c := 0; c < cores; c++ {
+		t.meta("thread_name", tracePid, c, map[string]any{"name": fmt.Sprintf("core %d", c)})
+		t.meta("thread_sort_index", tracePid, c, map[string]any{"sort_index": c})
+	}
+	t.meta("thread_name", tracePid, cores, map[string]any{"name": "checkpoint"})
+	t.meta("thread_name", tracePid, cores+1, map[string]any{"name": "recovery"})
+	return t
+}
+
+// Events returns how many trace events have been emitted.
+func (t *Tracer) Events() int { return t.n }
+
+// Err returns the first write or encoding error, if any.
+func (t *Tracer) Err() error { return t.err }
+
+// Close terminates the JSON array and flushes. The tracer ignores further
+// events afterwards.
+func (t *Tracer) Close() error {
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	t.raw("\n]\n")
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+func (t *Tracer) raw(s string) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.WriteString(s); err != nil {
+		t.err = err
+	}
+}
+
+// emit writes one trace event object. Map encoding keeps the output
+// deterministic: encoding/json sorts map keys.
+func (t *Tracer) emit(ev map[string]any) {
+	if t.err != nil || t.closed {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if t.n > 0 {
+		t.raw(",\n")
+	} else {
+		t.raw("\n")
+	}
+	t.raw(string(b))
+	t.n++
+}
+
+func (t *Tracer) meta(name string, pid, tid int, args map[string]any) {
+	t.emit(map[string]any{"name": name, "ph": "M", "pid": pid, "tid": tid, "args": args})
+}
+
+// span emits a complete ("X") event.
+func (t *Tracer) span(name string, tid int, ts, dur int64, args map[string]any) {
+	ev := map[string]any{"name": name, "ph": "X", "pid": tracePid, "tid": tid, "ts": ts, "dur": dur}
+	if args != nil {
+		ev["args"] = args
+	}
+	t.emit(ev)
+}
+
+// instant emits a thread-scoped instant ("i") event.
+func (t *Tracer) instant(name string, tid int, ts int64, args map[string]any) {
+	ev := map[string]any{"name": name, "ph": "i", "s": "t", "pid": tracePid, "tid": tid, "ts": ts}
+	if args != nil {
+		ev["args"] = args
+	}
+	t.emit(ev)
+}
+
+// async emits a begin/end async span pair ("b"/"e") under cat/name with a
+// fresh id. Async spans let checkpoint and recovery episodes overlap core
+// activity on their own tracks.
+func (t *Tracer) async(cat, name string, tid int, ts, dur int64, args map[string]any) {
+	t.asyncID++
+	id := fmt.Sprintf("%#x", t.asyncID)
+	begin := map[string]any{"name": name, "cat": cat, "ph": "b", "id": id,
+		"pid": tracePid, "tid": tid, "ts": ts}
+	if args != nil {
+		begin["args"] = args
+	}
+	t.emit(begin)
+	t.emit(map[string]any{"name": name, "cat": cat, "ph": "e", "id": id,
+		"pid": tracePid, "tid": tid, "ts": ts + dur})
+}
+
+// OnEvent implements sim.Observer.
+func (t *Tracer) OnEvent(e sim.Event) {
+	switch e.Kind {
+	case sim.EvBarrier:
+		core := int(e.Core)
+		start := e.Time - e.Dur
+		if run := start - t.resume[core]; run > 0 {
+			t.span("run", core, t.resume[core], run, nil)
+		}
+		t.span("barrier", core, start, e.Dur, nil)
+		t.resume[core] = e.Time
+	case sim.EvCheckpoint:
+		t.async("ckpt", "checkpoint", t.cores, e.Time, e.Dur,
+			map[string]any{"logged_words": e.Detail, "omitted_words": e.Aux})
+	case sim.EvDefer:
+		t.instant("defer", t.cores, e.Time, nil)
+	case sim.EvError:
+		t.instant("error", t.cores+1, e.Time, map[string]any{"occurred_at": e.Detail})
+	case sim.EvRecovery:
+		t.async("recovery", "recovery", t.cores+1, e.Time-e.Dur, e.Dur,
+			map[string]any{"restored_words": e.Detail, "recomputed_values": e.Aux})
+	}
+}
