@@ -304,10 +304,14 @@ func (m *Manager) Establish(time int64, arch []cpu.ArchState) EstablishInfo {
 	m.meter.Add(energy.RegCkpt, uint64(archWordsPer*len(arch)))
 	m.meter.Add(energy.DRAMWrite, uint64(archWordsPer*len(arch)))
 
-	// Retire the older log: its pinned records are released.
-	m.releaseLog(m.prevLog)
+	// Retire the older log: its pinned records are released and its
+	// backing array is recycled as the next interval's log, so steady-state
+	// logging regrows nothing. The stale entries beyond the reset length
+	// only reference records in the AddrMap's machine-lifetime pool.
+	retired := m.prevLog
+	m.releaseLog(retired)
 	m.prevLog = m.curLog
-	m.curLog = nil
+	m.curLog = retired[:0]
 	m.intervals = append(m.intervals, m.curStat)
 	m.curStat = IntervalStat{}
 

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collidingAddrs returns n distinct addresses whose home probe position in
+// m's table is identical, forcing a linear-probe chain.
+func collidingAddrs(m *AddrMap, n int) []int64 {
+	want := m.home(1)
+	addrs := []int64{1}
+	for a := int64(2); len(addrs) < n; a++ {
+		if m.home(a) == want {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+func TestAddrMapCollisionChain(t *testing.T) {
+	m := NewAddrMap(32)
+	addrs := collidingAddrs(m, 5)
+	for i, a := range addrs {
+		if !m.Assoc(0, a, mkSlice(int64(i), 100)) {
+			t.Fatalf("assoc of colliding addr %d rejected", a)
+		}
+	}
+	for i, a := range addrs {
+		if m.Lookup(a, int64(i)+100, nil) == nil {
+			t.Fatalf("colliding addr %d not found", a)
+		}
+	}
+}
+
+func TestAddrMapBackwardShiftDeletion(t *testing.T) {
+	// Deleting from the middle of a probe chain must keep the entries
+	// behind it reachable (backward-shift deletion, no tombstones).
+	m := NewAddrMap(32)
+	addrs := collidingAddrs(m, 6)
+	for i, a := range addrs {
+		m.Assoc(0, a, mkSlice(int64(i), 100))
+	}
+	// A mismatched lookup drops the mapping — delete the chain's middle.
+	mid := addrs[2]
+	if m.Lookup(mid, -1, nil) != nil {
+		t.Fatal("mismatched lookup must miss")
+	}
+	for i, a := range addrs {
+		rec := m.Lookup(a, int64(i)+100, nil)
+		if a == mid {
+			if rec != nil {
+				t.Fatalf("deleted addr %d still mapped", a)
+			}
+			continue
+		}
+		if rec == nil {
+			t.Fatalf("addr %d lost after mid-chain deletion", a)
+		}
+	}
+	// The vacated capacity is reusable.
+	if !m.Assoc(0, mid, mkSlice(7, 100)) {
+		t.Fatal("re-association after deletion rejected")
+	}
+}
+
+func TestAddrMapRandomizedAgainstModel(t *testing.T) {
+	// Drive the open-addressed table with random churn — insertions,
+	// replacements, stale drops, generation aging — against a reference
+	// map. Values are offset by 100 so the sentinels below never match a
+	// stored value.
+	rng := rand.New(rand.NewSource(42))
+	m := NewAddrMap(64)
+	type entry struct {
+		val int64
+		gen int64
+	}
+	model := map[int64]entry{}
+	for step := 0; step < 30000; step++ {
+		addr := int64(rng.Intn(256))
+		switch rng.Intn(8) {
+		case 0, 1, 2: // associate
+			v := int64(rng.Intn(1000)) + 100
+			if m.Assoc(0, addr, mkSlice(v-100, 100)) {
+				model[addr] = entry{val: v, gen: m.gen}
+			} else if _, ok := model[addr]; ok {
+				t.Fatalf("step %d: replacement of mapped addr %d rejected", step, addr)
+			} else if len(model) < 64 {
+				t.Fatalf("step %d: assoc rejected below capacity (%d mapped)", step, len(model))
+			}
+		case 3, 4, 5: // lookup with the correct old value
+			if e, ok := model[addr]; ok {
+				if m.Lookup(addr, e.val, nil) == nil {
+					t.Fatalf("step %d: mapped addr %d missed", step, addr)
+				}
+			} else if m.Lookup(addr, -2, nil) != nil {
+				t.Fatalf("step %d: unmapped addr %d found", step, addr)
+			}
+		case 6: // stale drop
+			if _, ok := model[addr]; ok {
+				if m.Lookup(addr, -1, nil) != nil {
+					t.Fatalf("step %d: stale lookup hit", step)
+				}
+				delete(model, addr)
+			}
+		case 7: // occasionally advance the checkpoint generation
+			if rng.Intn(20) == 0 {
+				m.NewGeneration()
+				for a, e := range model {
+					if e.gen < m.gen-1 {
+						delete(model, a)
+					}
+				}
+			}
+		}
+		if m.mapped != len(model) {
+			t.Fatalf("step %d: mapped=%d, model=%d", step, m.mapped, len(model))
+		}
+	}
+	for a, e := range model {
+		if m.Lookup(a, e.val, nil) == nil {
+			t.Fatalf("final sweep: addr %d lost", a)
+		}
+	}
+}
+
+func TestAddrMapRecordPointersStableAcrossGrowth(t *testing.T) {
+	// Record pointers are handed to checkpoint logs and must survive slab
+	// growth (the pool allocates in fixed-size blocks, never reallocates).
+	m := NewAddrMap(5000) // several blocks at the 4096-slot block cap
+	m.Assoc(0, 1, mkSlice(41, 1))
+	rec := m.Lookup(1, 42, nil)
+	rec.Pin()
+	for a := int64(2); a <= 4500; a++ {
+		m.Assoc(0, a, mkSlice(a, 0))
+	}
+	if rec.Addr != 1 || rec.Slice.Eval(nil) != 42 {
+		t.Fatalf("pinned record corrupted by slab growth: %+v", rec)
+	}
+	m.Release(rec)
+}
+
+func TestAddrMapSupersededSliceRecycled(t *testing.T) {
+	m := NewAddrMap(8)
+	s1 := mkSlice(1, 0)
+	m.Assoc(0, 1, s1)
+	m.Assoc(0, 1, mkSlice(2, 0))
+	if got := m.takeRecycled(); got != s1 {
+		t.Fatalf("superseded shell not recycled: got %p, want %p", got, s1)
+	}
+}
+
+func TestAddrMapReassocSameSliceNotRecycled(t *testing.T) {
+	// Re-associating the identical Compiled must not put the live object
+	// into the recycle pool (it would be handed out while still mapped).
+	m := NewAddrMap(8)
+	s1 := mkSlice(1, 0)
+	m.Assoc(0, 1, s1)
+	m.Assoc(0, 1, s1)
+	if got := m.takeRecycled(); got != nil {
+		t.Fatalf("live shell leaked into the pool: %p", got)
+	}
+	if m.Lookup(1, 1, nil) == nil {
+		t.Fatal("re-associated record lost")
+	}
+}
+
+func TestAddrMapResetClearsAndRecycles(t *testing.T) {
+	m := NewAddrMap(16)
+	for a := int64(1); a <= 10; a++ {
+		m.Assoc(0, a, mkSlice(a, 0))
+	}
+	m.Reset()
+	if m.Occupancy() != 0 {
+		t.Fatalf("occupancy after reset = %d", m.Occupancy())
+	}
+	for a := int64(1); a <= 10; a++ {
+		if m.Lookup(a, a, nil) != nil {
+			t.Fatalf("addr %d survived reset", a)
+		}
+	}
+	if m.takeRecycled() == nil {
+		t.Fatal("reset must return shells to the recycle pool")
+	}
+	if !m.Assoc(0, 99, mkSlice(0, 99)) || m.Lookup(99, 99, nil) == nil {
+		t.Fatal("map unusable after reset")
+	}
+}

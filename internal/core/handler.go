@@ -63,18 +63,31 @@ func (h *Handler) Threshold() int { return h.cfg.Threshold }
 // and, if the embedding policy accepts it, records the association. The
 // AddrMap insertion is buffered off the critical path, so no extra stall is
 // returned (the instruction's own issue slot is charged by the core).
+//
+// The compile reuses a Compiled shell recycled from a freed AddrMap record
+// when one is available, so the steady-state association path performs no
+// heap allocation.
 func (h *Handler) OnAssoc(core int, addr int64, recipe slice.Ref) int64 {
 	h.meter.Add(energy.AddrMapOp, 1)
 	cap := h.cfg.Threshold
 	if h.cfg.Policy == PolicyCost {
 		cap = h.cfg.Cost.MaxLen
 	}
-	sl, ok := h.tracker.Compile(recipe, cap)
-	if !ok {
+	// Always hand CompileInto a shell (recycled when available) so a
+	// failing compile — the common case for over-threshold Slices — can
+	// return its shell to the pool instead of leaking a fresh allocation.
+	into := h.addrMap.takeRecycled()
+	if into == nil {
+		into = &slice.Compiled{}
+	}
+	sl, err := h.tracker.CompileInto(into, recipe, cap)
+	if err != nil {
+		h.addrMap.recycleSlice(into)
 		h.addrMap.stats.SliceTooLong++
 		return 0
 	}
 	if h.cfg.Policy == PolicyCost && !h.cfg.Cost.Embeddable(sl) {
+		h.addrMap.recycleSlice(sl)
 		h.addrMap.stats.CostRejected++
 		return 0
 	}
@@ -82,7 +95,9 @@ func (h *Handler) OnAssoc(core int, addr int64, recipe slice.Ref) int64 {
 	// insertion itself is buffered off the critical path (the ASSOC-ADDR
 	// instruction's issue slot is already charged by the core).
 	h.meter.Add(energy.SliceBufOp, uint64(sl.NumInputs()))
-	h.addrMap.Assoc(core, addr, sl)
+	if !h.addrMap.Assoc(core, addr, sl) {
+		h.addrMap.recycleSlice(sl)
+	}
 	return 0
 }
 

@@ -97,6 +97,16 @@ type Core struct {
 
 	lastStoreAddr int64
 	lastStoreReg  isa.Reg
+
+	// Shadow counters for the energy events charged on the retire path.
+	// Step increments these core-local fields instead of calling
+	// energy.Meter.Add per instruction; FlushAccounting drains them into
+	// the shared meter at quantum boundaries. Counts are commutative, so
+	// batching leaves every meter total bit-identical.
+	accL1I   uint64
+	accInt   uint64
+	accFloat uint64
+	accL1D   uint64
 }
 
 // New returns a core with the given id, entry PC and thread-id registers
@@ -150,7 +160,10 @@ func (c *Core) Restore(a *ArchState) {
 // only needed for ACR configurations); hooks may be nil (no checkpointing).
 // Step panics on architecturally impossible situations (bad PC), which the
 // prog validator rules out for well-formed programs.
-func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hooks, meter *energy.Meter) {
+//
+// Energy events on the retire path accumulate in the core's shadow
+// counters; the caller must FlushAccounting before reading the meter.
+func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hooks) {
 	if c.State != Running {
 		panic(fmt.Sprintf("cpu: Step on %v core %d", c.State, c.ID))
 	}
@@ -160,7 +173,7 @@ func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hoo
 		c.PC++
 		return
 	}
-	meter.Add(energy.L1IAccess, 1)
+	c.accL1I++
 	c.Instrs++
 	next := c.PC + 1
 
@@ -174,9 +187,9 @@ func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hoo
 			c.Regs[in.Rd] = res
 		}
 		if in.Op.IsFloat() {
-			meter.Add(energy.FloatOp, 1)
+			c.accFloat++
 		} else {
-			meter.Add(energy.IntOp, 1)
+			c.accInt++
 		}
 		if tr != nil {
 			tr.OnALU(c.ID, in)
@@ -208,7 +221,7 @@ func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hoo
 		// Validated to pair with the preceding store: executes
 		// atomically with it (paper §III-A). Modelled after a store
 		// to L1-D (paper §IV).
-		meter.Add(energy.L1DAccess, 1)
+		c.accL1D++
 		c.quarters++
 		if hooks != nil && tr != nil {
 			c.quarters += hooks.Assoc(c.ID, c.lastStoreAddr, tr.Recipe(c.ID, c.lastStoreReg)) * qPerCycle
@@ -232,4 +245,27 @@ func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hoo
 		panic(fmt.Sprintf("cpu: unhandled op %v at pc %d", in.Op, c.PC))
 	}
 	c.PC = next
+}
+
+// FlushAccounting drains the shadow counters into meter. The scheduler
+// calls it once per executed quantum (and defensively before reading
+// results), turning one meter call per retired instruction into one per
+// quantum while keeping every count exactly equal.
+func (c *Core) FlushAccounting(meter *energy.Meter) {
+	if c.accL1I != 0 {
+		meter.Add(energy.L1IAccess, c.accL1I)
+		c.accL1I = 0
+	}
+	if c.accInt != 0 {
+		meter.Add(energy.IntOp, c.accInt)
+		c.accInt = 0
+	}
+	if c.accFloat != 0 {
+		meter.Add(energy.FloatOp, c.accFloat)
+		c.accFloat = 0
+	}
+	if c.accL1D != 0 {
+		meter.Add(energy.L1DAccess, c.accL1D)
+		c.accL1D = 0
+	}
 }

@@ -49,7 +49,8 @@ func run(t *testing.T, p *prog.Program, hooks Hooks, tr *slice.Tracker) (*Core, 
 		if steps > 1_000_000 {
 			t.Fatal("runaway program")
 		}
-		c.Step(p, m, tr, hooks, meter)
+		c.Step(p, m, tr, hooks)
+		c.FlushAccounting(meter)
 	}
 	return c, m, meter
 }
@@ -210,12 +211,12 @@ func TestBarrierAndHaltStates(t *testing.T) {
 	meter := energy.NewMeter(nil)
 	m := mem.NewSystem(mem.DefaultConfig(), 1, 64, meter)
 	c := New(0, p.Entry, 1)
-	c.Step(p, m, nil, nil, meter)
+	c.Step(p, m, nil, nil)
 	if c.State != AtBarrier {
 		t.Fatalf("state = %v, want at-barrier", c.State)
 	}
 	c.State = Running // release
-	c.Step(p, m, nil, nil, meter)
+	c.Step(p, m, nil, nil)
 	if c.State != Halted {
 		t.Fatalf("state = %v, want halted", c.State)
 	}

@@ -35,7 +35,7 @@ func TestEveryALUOpMatchesEvalALU(t *testing.T) {
 				{Op: op, Rd: 3, Rs: 1, Rt: 2, Imm: imm},
 				{Op: isa.HALT},
 			}}
-			c.Step(p, m, nil, nil, meter)
+			c.Step(p, m, nil, nil)
 			want := isa.EvalALU(op, a, bv, cv, imm)
 			if c.Regs[3] != want {
 				t.Fatalf("%v(%d,%d,%d,imm=%d): core %d, EvalALU %d",
@@ -53,7 +53,7 @@ func TestUntakenBranchFallsThrough(t *testing.T) {
 		{Op: isa.HALT},
 	}}
 	c := New(0, 0, 1)
-	c.Step(p, m, nil, nil, meter)
+	c.Step(p, m, nil, nil)
 	if c.PC != 1 {
 		t.Fatalf("untaken branch PC = %d, want 1", c.PC)
 	}
@@ -74,7 +74,7 @@ func TestAssocDisabledIsFree(t *testing.T) {
 		c := New(0, 0, 1)
 		c.AssocEnabled = enabled
 		for c.State == Running {
-			c.Step(p, m, nil, nil, meter)
+			c.Step(p, m, nil, nil)
 		}
 		return c.Instrs, c.Cycles()
 	}
@@ -91,11 +91,11 @@ func TestStepPanicsOnHaltedCore(t *testing.T) {
 	m := mem.NewSystem(mem.DefaultConfig(), 1, 8, meter)
 	p := &prog.Program{Name: "h", Code: []isa.Instr{{Op: isa.HALT}}}
 	c := New(0, 0, 1)
-	c.Step(p, m, nil, nil, meter)
+	c.Step(p, m, nil, nil)
 	defer func() {
 		if recover() == nil {
 			t.Error("Step on halted core must panic")
 		}
 	}()
-	c.Step(p, m, nil, nil, meter)
+	c.Step(p, m, nil, nil)
 }

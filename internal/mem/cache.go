@@ -24,19 +24,27 @@ func (c CacheConfig) Lines() int { return c.SizeBytes / c.LineBytes }
 // Sets returns the number of sets.
 func (c CacheConfig) Sets() int { return c.Lines() / c.Ways }
 
+// way packs one cache way's metadata (tag, LRU stamp, dirty bit) into a
+// single slice element so an Access touches one contiguous span per set
+// instead of three parallel arrays.
+type way struct {
+	tag   int64 // -1 = invalid
+	tick  uint64
+	dirty bool
+}
+
 // Cache is a set-associative LRU write-back cache used as a timing model:
 // it tracks presence and dirtiness of lines but holds no data (the flat
 // memory is always current functionally).
 type Cache struct {
-	sets  int
-	ways  int
-	shift uint // log2(line words)... set index uses line address directly
-	// tags[set*ways+way]; -1 = invalid.
-	tags  []int64
-	dirty []bool
-	// lruTick[set*ways+way]: larger = more recently used.
-	lruTick []uint64
-	tick    uint64
+	sets int
+	ways int
+	// lines[set*ways+way].
+	lines []way
+	// mru[set] is the way index of the last hit or fill in the set; the
+	// Access fast path probes it before scanning the set.
+	mru  []int32
+	tick uint64
 }
 
 // NewCache builds a cache from cfg. Sets must be a power of two.
@@ -45,11 +53,10 @@ func NewCache(cfg CacheConfig) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("mem: cache sets %d not a positive power of two (cfg %+v)", sets, cfg))
 	}
-	n := sets * cfg.Ways
 	c := &Cache{sets: sets, ways: cfg.Ways,
-		tags: make([]int64, n), dirty: make([]bool, n), lruTick: make([]uint64, n)}
-	for i := range c.tags {
-		c.tags[i] = -1
+		lines: make([]way, sets*cfg.Ways), mru: make([]int32, sets)}
+	for i := range c.lines {
+		c.lines[i].tag = -1
 	}
 	return c
 }
@@ -59,29 +66,45 @@ func NewCache(cfg CacheConfig) *Cache {
 // whether that line was dirty — the caller writes it back to the next
 // level. If markDirty is set the line is marked dirty (store or
 // fill-for-write).
+//
+// The most-recently-used way of the set is probed before the scan:
+// temporal locality makes it the common hit, and skipping the scan does
+// not change which way would have hit (tags are unique within a set) nor
+// any LRU decision (victim choice reads the same tick values either way).
 func (c *Cache) Access(line int64, markDirty bool) (hit bool, evicted int64, evictedDirty bool) {
 	set := int(uint64(line) & uint64(c.sets-1))
 	base := set * c.ways
 	c.tick++
-	victim, victimTick := base, c.lruTick[base]
+	if m := &c.lines[base+int(c.mru[set])]; m.tag == line {
+		m.tick = c.tick
+		if markDirty {
+			m.dirty = true
+		}
+		return true, -1, false
+	}
+	victim, victimTick := base, c.lines[base].tick
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.tags[i] == line {
-			c.lruTick[i] = c.tick
+		ln := &c.lines[i]
+		if ln.tag == line {
+			ln.tick = c.tick
 			if markDirty {
-				c.dirty[i] = true
+				ln.dirty = true
 			}
+			c.mru[set] = int32(w)
 			return true, -1, false
 		}
-		if c.lruTick[i] < victimTick {
-			victim, victimTick = i, c.lruTick[i]
+		if ln.tick < victimTick {
+			victim, victimTick = i, ln.tick
 		}
 	}
-	evicted = c.tags[victim]
-	evictedDirty = evicted >= 0 && c.dirty[victim]
-	c.tags[victim] = line
-	c.dirty[victim] = markDirty
-	c.lruTick[victim] = c.tick
+	v := &c.lines[victim]
+	evicted = v.tag
+	evictedDirty = evicted >= 0 && v.dirty
+	v.tag = line
+	v.dirty = markDirty
+	v.tick = c.tick
+	c.mru[set] = int32(victim - base)
 	return false, evicted, evictedDirty
 }
 
@@ -90,7 +113,7 @@ func (c *Cache) Contains(line int64) bool {
 	set := int(uint64(line) & uint64(c.sets-1))
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line {
+		if c.lines[base+w].tag == line {
 			return true
 		}
 	}
@@ -102,10 +125,10 @@ func (c *Cache) Contains(line int64) bool {
 // back to memory, paper §II-A).
 func (c *Cache) FlushDirty() int {
 	n := 0
-	for i, d := range c.dirty {
-		if d && c.tags[i] >= 0 {
+	for i := range c.lines {
+		if c.lines[i].dirty && c.lines[i].tag >= 0 {
 			n++
-			c.dirty[i] = false
+			c.lines[i].dirty = false
 		}
 	}
 	return n
@@ -114,8 +137,8 @@ func (c *Cache) FlushDirty() int {
 // DirtyLines returns the number of dirty lines without cleaning them.
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for i, d := range c.dirty {
-		if d && c.tags[i] >= 0 {
+	for i := range c.lines {
+		if c.lines[i].dirty && c.lines[i].tag >= 0 {
 			n++
 		}
 	}
@@ -124,10 +147,11 @@ func (c *Cache) DirtyLines() int {
 
 // Reset invalidates the whole cache.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i] = -1
-		c.dirty[i] = false
-		c.lruTick[i] = 0
+	for i := range c.lines {
+		c.lines[i] = way{tag: -1}
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 	c.tick = 0
 }

@@ -1,0 +1,44 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLocalNewIntervalMatchesNaiveClear cross-checks the masked whole-uint64
+// log-bit clear in the local NewInterval path against a per-word reference on
+// randomized write patterns, including memory sizes that are not multiples of
+// the line or the 64-bit chunk.
+func TestLocalNewIntervalMatchesNaiveClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		words := 600 + rng.Intn(97) // deliberately ragged tail
+		s, _ := newTestSystem(4, words)
+		for i := 0; i < 400; i++ {
+			s.Store(rng.Intn(4), int64(rng.Intn(words)), int64(i))
+		}
+		groupMask := uint64(1 + rng.Intn(15))
+
+		// Reference: clear one bit at a time for every word of every line
+		// last written by a group member.
+		want := make([]uint64, len(s.logBits))
+		copy(want, s.logBits)
+		lw := int64(s.cfg.LineWords)
+		for line, writer := range s.lastWriter {
+			if writer == 0 || groupMask&(1<<uint(writer-1)) == 0 {
+				continue
+			}
+			for a := int64(line) * lw; a < (int64(line)+1)*lw && a < int64(words); a++ {
+				want[a>>6] &^= 1 << uint(a&63)
+			}
+		}
+
+		s.NewInterval(groupMask, false)
+		for i := range want {
+			if s.logBits[i] != want[i] {
+				t.Fatalf("trial %d (words=%d, mask=%b): logBits[%d] = %064b, want %064b",
+					trial, words, groupMask, i, s.logBits[i], want[i])
+			}
+		}
+	}
+}

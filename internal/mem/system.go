@@ -305,18 +305,26 @@ func (s *System) NewInterval(groupMask uint64, allCores bool) {
 		return
 	}
 	// Local: clear log bits of words on lines last written by the group.
+	// A line is LineWords contiguous bits of logBits, so the clear is a
+	// handful of masked whole-uint64 writes per line, not a per-word loop.
 	lw := s.cfg.LineWords
 	for line, writer := range s.lastWriter {
 		if writer == 0 || groupMask&(1<<uint(writer-1)) == 0 {
 			continue
 		}
 		base := int64(line) * int64(lw)
-		for o := int64(0); o < int64(lw); o++ {
-			addr := base + o
-			if addr >= int64(len(s.dram)) {
-				break
+		end := base + int64(lw)
+		if end > int64(len(s.dram)) {
+			end = int64(len(s.dram))
+		}
+		for a := base; a < end; {
+			lo := uint(a & 63)
+			n := int64(64 - lo)
+			if a+n > end {
+				n = end - a
 			}
-			s.logBits[addr/64] &^= 1 << uint(addr%64)
+			s.logBits[a>>6] &^= (^uint64(0) >> (64 - uint(n))) << lo
+			a += n
 		}
 	}
 	for c := 0; c < s.nCores; c++ {

@@ -220,6 +220,11 @@ type Machine struct {
 
 	barriers int64
 	steps    int64
+
+	// archScratch is the reusable buffer archStates fills per checkpoint
+	// boundary; both consumers (ckpt.NewManager, ckpt.Establish) copy it
+	// into the snapshot they build.
+	archScratch []cpu.ArchState
 }
 
 // New builds a machine for program p. The program is validated; its Init
@@ -310,11 +315,13 @@ func (m *Machine) Mem() *mem.System { return m.sys }
 func (m *Machine) Manager() *ckpt.Manager { return m.mgr }
 
 func (m *Machine) archStates() []cpu.ArchState {
-	arch := make([]cpu.ArchState, len(m.cores))
-	for i, c := range m.cores {
-		arch[i] = c.Arch()
+	if m.archScratch == nil {
+		m.archScratch = make([]cpu.ArchState, len(m.cores))
 	}
-	return arch
+	for i, c := range m.cores {
+		m.archScratch[i] = c.Arch()
+	}
+	return m.archScratch
 }
 
 // FirstStore implements cpu.Hooks.
@@ -391,12 +398,16 @@ func (m *Machine) Run() (Result, error) {
 			bound = detect
 		}
 		for c.State == cpu.Running && c.Cycles() < bound {
-			c.Step(m.program, m.sys, m.tracker, m, m.meter)
+			c.Step(m.program, m.sys, m.tracker, m)
 			m.steps++
 			if m.steps > m.cfg.MaxSteps {
+				c.FlushAccounting(m.meter)
 				return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
 			}
 		}
+		// One meter flush per quantum instead of one Add per instruction;
+		// counts are commutative, so totals stay bit-identical.
+		c.FlushAccounting(m.meter)
 	}
 	return m.result(), nil
 }
@@ -429,6 +440,7 @@ func (m *Machine) record(e Event) {
 func (m *Machine) result() Result {
 	r := Result{Barriers: m.barriers}
 	for _, c := range m.cores {
+		c.FlushAccounting(m.meter) // defensive: quanta flush on exit already
 		if c.Cycles() > r.Cycles {
 			r.Cycles = c.Cycles()
 		}

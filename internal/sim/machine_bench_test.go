@@ -5,7 +5,58 @@ import (
 	"testing"
 
 	acr "acr/internal/core"
+	"acr/internal/prog"
 )
+
+// benchSetup builds the benchmark configuration for one (cores, ckpt)
+// point: the synthetic kernel at the given iteration count plus, for the
+// ACR configurations, a checkpoint period calibrated once so every
+// measured run establishes ~12 checkpoints (tracker, AddrMap and log
+// paths all live).
+func benchSetup(tb testing.TB, cores, iters int, ckpt bool) (Config, *prog.Program) {
+	tb.Helper()
+	p := testKernel(cores, 48, iters)
+	cfg := DefaultConfig(cores)
+	if ckpt {
+		m, err := New(cfg, p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ref, err := m.Run()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cfg.Checkpointing = true
+		cfg.Amnesic = true
+		cfg.ACR = acr.Config{Threshold: 10, MapCapacity: 4096 * cores}
+		cfg.PeriodCycles = ref.Cycles / 13
+	}
+	return cfg, p
+}
+
+// benchRun is the measured body shared by the benchmark and the JSON
+// emitter: b.N full simulations, reporting sim-MIPS and allocations.
+func benchRun(b *testing.B, cfg Config, p *prog.Program) {
+	b.ReportAllocs()
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Instrs
+	}
+	b.StopTimer()
+	if instrs > 0 && b.Elapsed() > 0 {
+		mips := float64(instrs) * float64(b.N) / b.Elapsed().Seconds() / 1e6
+		b.ReportMetric(mips, "sim-MIPS")
+	}
+}
 
 // BenchmarkMachineRun measures the simulator's hot loop — the quantum-
 // batched scheduler plus core stepping — at the paper's three machine
@@ -16,42 +67,8 @@ func BenchmarkMachineRun(b *testing.B) {
 		for _, ckpt := range []bool{false, true} {
 			name := fmt.Sprintf("cores=%d/ckpt=%v", cores, ckpt)
 			b.Run(name, func(b *testing.B) {
-				p := testKernel(cores, 48, 10)
-				cfg := DefaultConfig(cores)
-				if ckpt {
-					// Calibrate the period once so every measured run
-					// takes ~12 checkpoints.
-					m, err := New(cfg, p)
-					if err != nil {
-						b.Fatal(err)
-					}
-					ref, err := m.Run()
-					if err != nil {
-						b.Fatal(err)
-					}
-					cfg.Checkpointing = true
-					cfg.Amnesic = true
-					cfg.ACR = acr.Config{Threshold: 10, MapCapacity: 4096 * cores}
-					cfg.PeriodCycles = ref.Cycles / 13
-				}
-				var instrs int64
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					m, err := New(cfg, p)
-					if err != nil {
-						b.Fatal(err)
-					}
-					res, err := m.Run()
-					if err != nil {
-						b.Fatal(err)
-					}
-					instrs = res.Instrs
-				}
-				b.StopTimer()
-				if instrs > 0 && b.Elapsed() > 0 {
-					mips := float64(instrs) * float64(b.N) / b.Elapsed().Seconds() / 1e6
-					b.ReportMetric(mips, "sim-MIPS")
-				}
+				cfg, p := benchSetup(b, cores, 10, ckpt)
+				benchRun(b, cfg, p)
 			})
 		}
 	}

@@ -59,27 +59,34 @@ func (s *scheduler) halted() int    { return s.counts[cpu.Halted] }
 // lower-id peer takes over at clock equality, so it bounds at its clock; a
 // higher-id peer loses ties, so it bounds one cycle later. The caller must
 // ensure at least one core is running.
+// The two scans (best-core selection, bound computation) are fused into
+// one pass in core-id order. When a core displaces the current best, the
+// displaced best bounds at exactly its clock (it has the lower id, so it
+// takes over at equality); a non-best core seen while some lower-id best
+// holds bounds at clock+1 (it loses ties). A candidate's provisional
+// bound can only be an overestimate while it might still be displaced,
+// and any such overestimate is dominated by the exact bound contributed
+// when the displacement happens, so the minimum is identical to the
+// two-pass result.
 func (s *scheduler) pick() (*cpu.Core, int64) {
 	var best *cpu.Core
+	bound := unbounded
 	for _, c := range s.cores {
 		if c.State != cpu.Running {
 			continue
 		}
-		if best == nil || c.Cycles() < best.Cycles() {
+		switch {
+		case best == nil:
 			best = c
-		}
-	}
-	bound := unbounded
-	for _, c := range s.cores {
-		if c == best || c.State != cpu.Running {
-			continue
-		}
-		limit := c.Cycles()
-		if c.ID > best.ID {
-			limit++
-		}
-		if limit < bound {
-			bound = limit
+		case c.Cycles() < best.Cycles():
+			if best.Cycles() < bound {
+				bound = best.Cycles()
+			}
+			best = c
+		default:
+			if limit := c.Cycles() + 1; limit < bound {
+				bound = limit
+			}
 		}
 	}
 	return best, bound

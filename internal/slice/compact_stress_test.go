@@ -1,0 +1,81 @@
+package slice
+
+import (
+	"math/rand"
+	"testing"
+
+	"acr/internal/isa"
+)
+
+// TestCompactionStressMultiCore drives four cores of random ALU and load
+// traffic through hundreds of arena compaction cycles at a deliberately
+// tiny limit, interleaving context-switch resets, and checks after every
+// phase that each compilable register recipe still evaluates to its
+// architectural value — the bit-identity contract the iterative compactor
+// and the double-buffered arena must preserve.
+func TestCompactionStressMultiCore(t *testing.T) {
+	const nCores = 4
+	aluOps := []isa.Op{isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
+		isa.SLT, isa.ADDI, isa.MULI, isa.SHLI, isa.SHRI, isa.LI, isa.MOV,
+		isa.FADD, isa.FMUL, isa.FSUB, isa.FMA, isa.CVTF}
+	rng := rand.New(rand.NewSource(11))
+	tr := NewTracker(nCores)
+	tr.compactLimit = 512
+	var regs [nCores][isa.NumRegs]int64
+	compactions := 0
+	lastLen := tr.ArenaLen()
+	for phase := 0; phase < 40; phase++ {
+		for step := 0; step < 400; step++ {
+			core := rng.Intn(nCores)
+			if rng.Intn(5) == 0 {
+				rd := isa.Reg(rng.Intn(31) + 1)
+				val := rng.Int63()
+				regs[core][rd] = val
+				tr.OnLoad(core, rd, val)
+				continue
+			}
+			in := isa.Instr{
+				Op:  aluOps[rng.Intn(len(aluOps))],
+				Rd:  isa.Reg(rng.Intn(31) + 1),
+				Rs:  isa.Reg(rng.Intn(32)),
+				Rt:  isa.Reg(rng.Intn(32)),
+				Imm: rng.Int63n(100) - 50,
+			}
+			res := isa.EvalALU(in.Op, regs[core][in.Rs], regs[core][in.Rt],
+				regs[core][in.Rd], in.Imm)
+			if in.Rd != 0 {
+				regs[core][in.Rd] = res
+			}
+			tr.OnALU(core, in)
+			if l := tr.ArenaLen(); l < lastLen {
+				compactions++
+			}
+			lastLen = tr.ArenaLen()
+		}
+		if phase%7 == 3 {
+			// Context switch: restart one core from its architectural file.
+			core := rng.Intn(nCores)
+			tr.ResetCore(core, &regs[core])
+		}
+		for core := 0; core < nCores; core++ {
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				c, ok := tr.Compile(tr.Recipe(core, isa.Reg(r)), 256)
+				if !ok {
+					continue
+				}
+				if got := c.Eval(nil); got != regs[core][r] {
+					t.Fatalf("phase %d core %d: recipe of r%d = %d, architectural %d\n%s",
+						phase, core, r, got, regs[core][r], c)
+				}
+			}
+		}
+	}
+	if compactions < 5 {
+		t.Fatalf("only %d compactions observed — stress did not exercise the compactor", compactions)
+	}
+	// The growth rule may raise the limit for a large live set, but the
+	// arena must stay bounded, not track the 64k ops executed.
+	if tr.ArenaLen() > 1<<14 {
+		t.Errorf("arena grew unboundedly: %d nodes after %d compactions", tr.ArenaLen(), compactions)
+	}
+}

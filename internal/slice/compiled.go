@@ -116,6 +116,62 @@ func (c *Compiled) String() string {
 // unusedEnc marks an unused operand during compilation.
 const unusedEnc = int32(math.MinInt32)
 
+// scratchSlots sizes the compile visited-table. A compilable recipe has
+// size < SatSize, so its DAG holds at most 254 op nodes and 3×254 leaves
+// (~1016 refs); 8192 slots keeps the open-addressed probe load under 1/8.
+const scratchSlots = 1 << 13
+
+// compileScratch is the reusable visited-table of the Compile walk: an
+// epoch-stamped open-addressed map from arena Ref to evaluation slot,
+// replacing a per-call map[Ref]int32. Bumping the epoch invalidates all
+// entries in O(1), so back-to-back Compiles (one per ASSOC-ADDR) never
+// clear or allocate.
+type compileScratch struct {
+	refs  [scratchSlots]Ref
+	slots [scratchSlots]int32
+	epoch [scratchSlots]uint32
+	cur   uint32
+}
+
+// begin invalidates all entries for a new compilation.
+func (s *compileScratch) begin() {
+	s.cur++
+	if s.cur == 0 { // epoch wrapped: hard-clear stale stamps once per 2^32
+		s.epoch = [scratchSlots]uint32{}
+		s.cur = 1
+	}
+}
+
+func scratchHome(r Ref) uint32 {
+	return uint32((uint64(uint32(r)) * 0x9E3779B97F4A7C15) >> (64 - 13))
+}
+
+func (s *compileScratch) get(r Ref) (int32, bool) {
+	for i, n := scratchHome(r), 0; ; i, n = (i+1)&(scratchSlots-1), n+1 {
+		if s.epoch[i] != s.cur {
+			return 0, false
+		}
+		if s.refs[i] == r {
+			return s.slots[i], true
+		}
+		if n >= scratchSlots {
+			panic("slice: compile scratch overflow (recipe DAG exceeds size bound)")
+		}
+	}
+}
+
+func (s *compileScratch) set(r Ref, v int32) {
+	for i, n := scratchHome(r), 0; ; i, n = (i+1)&(scratchSlots-1), n+1 {
+		if s.epoch[i] != s.cur || s.refs[i] == r {
+			s.refs[i], s.slots[i], s.epoch[i] = r, v, s.cur
+			return
+		}
+		if n >= scratchSlots {
+			panic("slice: compile scratch overflow (recipe DAG exceeds size bound)")
+		}
+	}
+}
+
 // Compile serialises the recipe r into a standalone Slice, deduplicating
 // shared sub-expressions, or reports false if the recipe is opaque or needs
 // more than maxOps instructions. The walk aborts as soon as the op budget
@@ -137,11 +193,25 @@ var errSliceBudget = fmt.Errorf("slice: recipe is opaque or exceeds the op budge
 // Slice violates the soundness contract (which would indicate recipe
 // tracker corruption — recovery must reject it rather than replay it).
 func (t *Tracker) CompileVerified(r Ref, maxOps int) (*Compiled, error) {
+	return t.CompileInto(nil, r, maxOps)
+}
+
+// CompileInto is CompileVerified compiling into a recycled Compiled shell:
+// into's Inputs/Ops backing arrays are truncated and reused, so the
+// steady-state association path (recycled shells supplied by the AddrMap
+// pool) performs no heap allocation. into == nil allocates a fresh shell.
+func (t *Tracker) CompileInto(into *Compiled, r Ref, maxOps int) (*Compiled, error) {
 	if t.at(r).kind == kindOpaque {
 		return nil, errSliceBudget
 	}
-	c := &Compiled{}
-	clear(t.slotOf)
+	c := into
+	if c == nil {
+		c = &Compiled{}
+	} else {
+		c.Inputs = c.Inputs[:0]
+		c.Ops = c.Ops[:0]
+	}
+	t.cTab.begin()
 	if !t.emit(r, c, maxOps) {
 		return nil, errSliceBudget
 	}
@@ -170,9 +240,9 @@ func (t *Tracker) CompileVerified(r Ref, maxOps int) (*Compiled, error) {
 }
 
 // emit appends r's subgraph to c in topological order. During the walk,
-// slotOf holds: input index (≥ 0) for leaves, ^opIndex (< 0) for ops.
+// cTab holds: input index (≥ 0) for leaves, ^opIndex (< 0) for ops.
 func (t *Tracker) emit(r Ref, c *Compiled, maxOps int) bool {
-	if _, done := t.slotOf[r]; done {
+	if _, done := t.cTab.get(r); done {
 		return true
 	}
 	n := t.at(r)
@@ -185,7 +255,7 @@ func (t *Tracker) emit(r Ref, c *Compiled, maxOps int) bool {
 			val = n.val
 		}
 		c.Inputs = append(c.Inputs, val)
-		t.slotOf[r] = int32(len(c.Inputs) - 1)
+		t.cTab.set(r, int32(len(c.Inputs)-1))
 		return true
 	}
 	for _, ch := range [3]Ref{n.a, n.b, n.c} {
@@ -201,15 +271,15 @@ func (t *Tracker) emit(r Ref, c *Compiled, maxOps int) bool {
 	}
 	op := COp{Op: n.op, A: unusedEnc, B: unusedEnc, C: unusedEnc, Imm: n.imm}
 	if n.a != noRef {
-		op.A = t.slotOf[n.a]
+		op.A, _ = t.cTab.get(n.a)
 	}
 	if n.b != noRef {
-		op.B = t.slotOf[n.b]
+		op.B, _ = t.cTab.get(n.b)
 	}
 	if n.c != noRef {
-		op.C = t.slotOf[n.c]
+		op.C, _ = t.cTab.get(n.c)
 	}
 	c.Ops = append(c.Ops, op)
-	t.slotOf[r] = ^int32(len(c.Ops) - 1)
+	t.cTab.set(r, ^int32(len(c.Ops)-1))
 	return true
 }

@@ -52,6 +52,12 @@ type node struct {
 
 // Tracker maintains per-core, per-register recipes. It is the simulator's
 // stand-in for the paper's compiler pass plus the input-operand buffer.
+//
+// The per-instruction path (OnALU/OnLoad → push) appends into a
+// pre-sized arena and performs no other work; the arena is kept flat by
+// periodic compaction, which retains only nodes reachable from register
+// recipes. Compaction double-buffers the arena and reuses its remap and
+// work-stack scratch, so steady-state tracking is allocation-free.
 type Tracker struct {
 	arena  []node
 	opaque Ref
@@ -63,9 +69,27 @@ type Tracker struct {
 	// (≤ SatSize nodes per register), so compaction keeps memory flat.
 	compactLimit int
 
-	// scratch reused by Compile.
-	slotOf map[Ref]int32
+	// spare is the second arena buffer: compact() moves live nodes into
+	// it and the buffers swap roles, so no compaction allocates once both
+	// have reached compactLimit capacity.
+	spare []node
+	// remap holds new-ref+1 per old arena index during compaction
+	// (0 = not yet moved), so it can be bulk-cleared; stack is the
+	// explicit DFS work list replacing the recursive walk.
+	remap []Ref
+	stack []Ref
+	// liveHi is the high-water mark of the post-compaction live set,
+	// used to pre-size fresh arenas.
+	liveHi int
+
+	// cTab is the epoch-stamped visited table reused by Compile.
+	cTab compileScratch
 }
+
+// defaultCompactLimit bounds the arena between compactions. It trades
+// compaction frequency (one sweep per ~64k retired tracked instructions)
+// against resident arena memory (two buffers of this many nodes).
+const defaultCompactLimit = 1 << 16
 
 // NewTracker returns a tracker for nCores cores with all registers holding
 // the zero recipe (registers are architecturally zero at program start).
@@ -73,8 +97,7 @@ func NewTracker(nCores int) *Tracker {
 	t := &Tracker{
 		nCores:       nCores,
 		recipes:      make([]Ref, nCores*isa.NumRegs),
-		compactLimit: 1 << 20,
-		slotOf:       make(map[Ref]int32),
+		compactLimit: defaultCompactLimit,
 	}
 	t.arena = make([]node, 0, 4096)
 	t.opaque = t.push(node{kind: kindOpaque, size: SatSize})
@@ -192,40 +215,80 @@ func (t *Tracker) ArenaLen() int { return len(t.arena) }
 
 // compact rebuilds the arena keeping only nodes reachable from register
 // recipes. Reachability is bounded: every live recipe has tree size
-// < SatSize, so the compacted arena is small regardless of execution length.
+// < SatSize, so the compacted arena is small regardless of execution
+// length. The walk is iterative (explicit work stack) over a bulk-cleared
+// remap array, and the surviving nodes move into the spare buffer, which
+// is pre-sized from the live-set high-water mark so the following
+// compactLimit pushes never reallocate.
 func (t *Tracker) compact() {
-	newArena := make([]node, 0, 4096)
-	newArena = append(newArena, t.arena[t.opaque], t.arena[t.zero])
-	remap := make(map[Ref]Ref, 1024)
-	remap[t.opaque] = 0
-	remap[t.zero] = 1
+	if cap(t.remap) < len(t.arena) {
+		t.remap = make([]Ref, len(t.arena))
+	}
+	remap := t.remap[:len(t.arena)]
+	clear(remap) // 0 = not moved; stored values are new ref + 1
 
-	var move func(r Ref) Ref
-	move = func(r Ref) Ref {
-		if nr, ok := remap[r]; ok {
-			return nr
-		}
-		n := t.arena[r] // copy
-		if n.a != noRef {
-			n.a = move(n.a)
-		}
-		if n.b != noRef {
-			n.b = move(n.b)
-		}
-		if n.c != noRef {
-			n.c = move(n.c)
-		}
-		newArena = append(newArena, n)
-		nr := Ref(len(newArena) - 1)
-		remap[r] = nr
-		return nr
+	newArena := t.spare[:0]
+	if cap(newArena) < t.compactLimit {
+		newArena = make([]node, 0, t.compactLimit)
 	}
-	for i, r := range t.recipes {
-		t.recipes[i] = move(r)
+	newArena = append(newArena, t.arena[t.opaque], t.arena[t.zero])
+	remap[t.opaque] = 1
+	remap[t.zero] = 2
+
+	stack := t.stack[:0]
+	for i, root := range t.recipes {
+		if remap[root] == 0 {
+			stack = append(stack, root)
+			for len(stack) > 0 {
+				r := stack[len(stack)-1]
+				if remap[r] != 0 {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				n := &t.arena[r]
+				// Children move first; push in reverse so they are
+				// processed a, b, c.
+				ready := true
+				if n.c != noRef && remap[n.c] == 0 {
+					stack = append(stack, n.c)
+					ready = false
+				}
+				if n.b != noRef && remap[n.b] == 0 {
+					stack = append(stack, n.b)
+					ready = false
+				}
+				if n.a != noRef && remap[n.a] == 0 {
+					stack = append(stack, n.a)
+					ready = false
+				}
+				if !ready {
+					continue
+				}
+				nn := *n
+				if nn.a != noRef {
+					nn.a = remap[nn.a] - 1
+				}
+				if nn.b != noRef {
+					nn.b = remap[nn.b] - 1
+				}
+				if nn.c != noRef {
+					nn.c = remap[nn.c] - 1
+				}
+				newArena = append(newArena, nn)
+				remap[r] = Ref(len(newArena))
+				stack = stack[:len(stack)-1]
+			}
+		}
+		t.recipes[i] = remap[root] - 1
 	}
+	t.stack = stack[:0]
+	t.spare = t.arena[:0]
 	t.arena = newArena
 	t.opaque = 0
 	t.zero = 1
+	if len(t.arena) > t.liveHi {
+		t.liveHi = len(t.arena)
+	}
 	if len(t.arena)*2 > t.compactLimit {
 		t.compactLimit = len(t.arena) * 2
 	}
