@@ -3,7 +3,11 @@
 // Usage:
 //
 //	acrbench [-exp all|tableI|fig1|fig6|fig7|fig8|fig9|tableII|fig10|fig11|fig12|fig13|scal]
-//	         [-threads N] [-class S|W|A]
+//	         [-threads N] [-class S|W|A] [-j N] [-workers N]
+//
+// -j sizes the driver's job pool (distinct machines in flight); -workers
+// sets the intra-run worker count per machine (the deterministic parallel
+// engine, bit-identical to serial execution).
 //
 // Each experiment prints the same rows/series the paper reports (absolute
 // numbers differ — the substrate is a simulator, not the authors' testbed —
@@ -17,6 +21,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -33,6 +38,7 @@ func main() {
 	class := flag.String("class", "W", "problem class (S, W, A)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := flag.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 1, "intra-run simulation workers per machine (>1 = parallel engine, bit-identical to serial; 0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-job wall-time and queue-wait reports")
 	metricsDir := flag.String("metrics-dir", "", "write driver metrics (driver.prom, driver.json) into this directory")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -53,6 +59,10 @@ func main() {
 	p := bench.Params{Threads: *threads, Class: cl}
 	r := bench.NewRunner()
 	r.Workers = *jobs
+	r.SimWorkers = *workers
+	if r.SimWorkers == 0 {
+		r.SimWorkers = runtime.GOMAXPROCS(0)
+	}
 	start := time.Now()
 
 	type gen func() (*stats.Table, error)

@@ -4,11 +4,17 @@
 // Usage:
 //
 //	acrsim -bench is [-config ReCkpt_E] [-threads 8] [-class W]
-//	       [-ckpts 25] [-errors 1] [-threshold 0] [-v]
+//	       [-ckpts 25] [-errors 1] [-threshold 0] [-workers 1] [-v]
 //	       [-trace out.json] [-metrics out.prom] [-profile out.json]
 //
 // The configuration names follow the paper (§IV): NoCkpt, Ckpt_NE, Ckpt_E,
 // ReCkpt_NE, ReCkpt_E and their ",Loc" coordinated-local variants.
+//
+// -workers N with N > 1 executes each simulated machine through the
+// deterministic parallel engine (conflict-checked speculative rounds,
+// bit-identical to serial execution); 0 means GOMAXPROCS. The telemetry
+// replay always runs serially, so exporting with -workers > 1 doubles as a
+// parallel-vs-serial determinism cross-check.
 //
 // -trace writes the run's cycle-domain timeline as Chrome trace-event JSON
 // (load it at https://ui.perfetto.dev), -metrics writes a Prometheus text
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -39,6 +46,7 @@ func main() {
 	ckpts := flag.Int("ckpts", 0, "checkpoints per run (0 = paper default 25)")
 	errs := flag.Int("errors", 0, "override error count for _E configurations")
 	threshold := flag.Int("threshold", 0, "Slice-length threshold override (0 = benchmark default)")
+	workers := flag.Int("workers", 1, "intra-run simulation workers (>1 = parallel engine, bit-identical to serial; 0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print checkpoint interval details")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	metricsOut := flag.String("metrics", "", "write Prometheus text exposition to this file")
@@ -59,8 +67,14 @@ func main() {
 		spec.Errors = *errs
 	}
 
+	simWorkers := *workers
+	if simWorkers == 0 {
+		simWorkers = runtime.GOMAXPROCS(0)
+	}
+
 	p := bench.Params{Threads: *threads, Class: cl}
 	r := bench.NewRunner()
+	r.SimWorkers = simWorkers
 	// The NoCkpt baseline and the configured run go through the parallel
 	// driver; the memoising cache deduplicates the baseline the
 	// checkpointed run calibrates against.
@@ -74,7 +88,7 @@ func main() {
 	base, res := out[0], out[1]
 
 	if *traceOut != "" || *metricsOut != "" || *profileOut != "" {
-		if err := exportTelemetry(r, *benchName, p, spec, res,
+		if err := exportTelemetry(r, *benchName, p, spec, res, simWorkers,
 			*traceOut, *metricsOut, *profileOut); err != nil {
 			fatal(err)
 		}
@@ -122,11 +136,15 @@ func main() {
 
 // exportTelemetry replays the configured run once with a metrics Collector
 // and (optionally) a Chrome tracer attached, then writes the requested
-// artifacts. The replay reuses the calibrated period from the memoised run,
-// so it is bit-identical to the summary already printed — a divergence is
-// a determinism bug and aborts the export.
+// artifacts. The replay reuses the calibrated period from the memoised run
+// and always executes serially (the serial scheduler is the determinism
+// oracle), so it must be bit-identical to the summary already printed —
+// whatever worker count produced that summary. A divergence is a
+// determinism bug — with mainWorkers > 1, specifically a parallel-engine
+// bug — and aborts the export rather than silently emitting a profile of a
+// different execution.
 func exportTelemetry(r *bench.Runner, benchName string, p bench.Params, spec bench.Spec,
-	want sim.Result, traceOut, metricsOut, profileOut string) error {
+	want sim.Result, mainWorkers int, traceOut, metricsOut, profileOut string) error {
 	reg := telemetry.NewRegistry()
 	col := telemetry.NewCollector(reg)
 	obs := []sim.Observer{col}
@@ -147,8 +165,8 @@ func exportTelemetry(r *bench.Runner, benchName string, p bench.Params, spec ben
 		return err
 	}
 	if res.Cycles != want.Cycles || res.Instrs != want.Instrs {
-		return fmt.Errorf("telemetry replay diverged: %d cycles / %d instrs, want %d / %d",
-			res.Cycles, res.Instrs, want.Cycles, want.Instrs)
+		return fmt.Errorf("telemetry replay (workers=1) diverged from the reported run (workers=%d): %d cycles / %d instrs, want %d / %d — determinism bug, export aborted",
+			mainWorkers, res.Cycles, res.Instrs, want.Cycles, want.Instrs)
 	}
 	col.ObserveResult(res)
 

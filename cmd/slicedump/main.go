@@ -130,7 +130,7 @@ func fig3(verify bool) int {
 			tr.OnALU(0, in)
 		}
 	}
-	c, ok := tr.Compile(tr.Recipe(0, 5), 10)
+	c, ok := tr.Compile(0, tr.Recipe(0, 5), 10)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "slicedump: slice did not compile")
 		return 1

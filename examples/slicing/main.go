@@ -51,7 +51,7 @@ func main() {
 
 	fmt.Println("the compiler's threshold gate (paper §III-A):")
 	for _, threshold := range []int{2, 3, 10} {
-		c, ok := tr.Compile(tr.Recipe(0, 5), threshold)
+		c, ok := tr.Compile(0, tr.Recipe(0, 5), threshold)
 		if !ok {
 			fmt.Printf("  threshold %2d: Slice too long — value stays in the checkpoint\n", threshold)
 			continue
@@ -60,7 +60,7 @@ func main() {
 			threshold, c.Len(), c.Eval(nil))
 	}
 
-	c, _ := tr.Compile(tr.Recipe(0, 5), 10)
+	c, _ := tr.Compile(0, tr.Recipe(0, 5), 10)
 	fmt.Printf("\nthe embedded Slice, as evaluated on the scratchpad during recovery:\n%s", c)
 	fmt.Printf("recomputed: %d (architectural value %d)\n", c.Eval(nil), regs[5])
 }

@@ -16,13 +16,19 @@ import (
 // ROI echoed in that Result. The simulator is deterministic, so the replay
 // is bit-identical to the cached run — the observers see the single
 // converged execution, and the returned Result equals Run's.
+//
+// The replay always runs serially (sim.Config.Workers = 1) regardless of
+// r.SimWorkers: the serial scheduler is the determinism oracle, so when the
+// cached run used the parallel engine, comparing the replayed Result against
+// the cached one cross-checks workers>1 against workers=1 — a divergence is
+// a parallel-determinism bug the caller must surface, not export around.
 func (r *Runner) RunObserved(benchName string, p Params, spec Spec, obs ...sim.Observer) (sim.Result, error) {
 	bench, err := workloads.ByName(benchName)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	if !spec.Ckpt {
-		return r.execute(bench, p, spec, 0, 0, 0, obs...)
+		return r.execute(bench, p, spec, 1, 0, 0, 0, obs...)
 	}
 	res, err := r.Run(benchName, p, spec)
 	if err != nil {
@@ -32,5 +38,5 @@ func (r *Runner) RunObserved(benchName string, p Params, spec Spec, obs ...sim.O
 	if n == 0 {
 		n = DefaultNumCkpts
 	}
-	return r.execute(bench, p, spec, res.PeriodCycles, int64(n), res.ROIStartCycles, obs...)
+	return r.execute(bench, p, spec, 1, res.PeriodCycles, int64(n), res.ROIStartCycles, obs...)
 }

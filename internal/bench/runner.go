@@ -111,6 +111,14 @@ type Runner struct {
 	// Workers bounds RunAll's worker pool; 0 means GOMAXPROCS.
 	Workers int
 
+	// SimWorkers is the intra-run worker count handed to
+	// sim.Config.Workers (0 or 1 = serial execution). The parallel engine
+	// is bit-identical to the serial scheduler — any speculative round
+	// that fails its conflict check is discarded and replayed serially —
+	// so SimWorkers is deliberately not part of the memoisation key: a
+	// cache warmed at one worker count serves every other.
+	SimWorkers int
+
 	mu      sync.Mutex
 	cache   map[runKey]*runEntry
 	reports []JobReport
@@ -161,7 +169,7 @@ func (r *Runner) run(benchName string, p Params, spec Spec) (sim.Result, error) 
 		return sim.Result{}, err
 	}
 	if !spec.Ckpt {
-		return r.execute(bench, p, spec, 0, 0, 0)
+		return r.execute(bench, p, spec, r.SimWorkers, 0, 0, 0)
 	}
 
 	// The paper fixes the number of checkpoints per run and distributes
@@ -186,7 +194,7 @@ func (r *Runner) run(benchName string, p Params, spec Spec) (sim.Result, error) 
 		if period < 1 {
 			period = 1
 		}
-		res, err = r.execute(bench, p, spec, period, int64(n), roi)
+		res, err = r.execute(bench, p, spec, r.SimWorkers, period, int64(n), roi)
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -201,8 +209,9 @@ func (r *Runner) run(benchName string, p Params, spec Spec) (sim.Result, error) 
 	return res, nil
 }
 
-func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, period, maxCkpts, roi int64, obs ...sim.Observer) (sim.Result, error) {
+func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, workers int, period, maxCkpts, roi int64, obs ...sim.Observer) (sim.Result, error) {
 	cfg := sim.DefaultConfig(p.Threads)
+	cfg.Workers = workers
 	cfg.Observers = obs
 	if spec.Ckpt {
 		cfg.Checkpointing = true

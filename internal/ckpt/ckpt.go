@@ -252,6 +252,20 @@ func (m *Manager) OnFirstStore(coreID int, addr, old int64) int64 {
 	return InlineLogStallCycles
 }
 
+// PredictFirstStore returns the stall OnFirstStore(coreID, addr, old)
+// would return, without side effects: nothing is logged or pinned, no
+// statistics move and no energy is charged. scratch must be
+// caller-private. Speculative quanta use it to account the store-side
+// stall before the real OnFirstStore replays at commit; the parallel
+// engine's conflict rules guarantee the prediction matches the replay for
+// committing rounds.
+func (m *Manager) PredictFirstStore(addr, old int64, scratch []int64) int64 {
+	if m.acr != nil && m.acr.PeekOmittable(addr, old, scratch) {
+		return OmitStallCycles
+	}
+	return InlineLogStallCycles
+}
+
 // Establish creates a checkpoint at the given time from the cores'
 // architectural states. Under Local mode, groups are the current
 // communication components; under Global there is a single group.

@@ -320,6 +320,17 @@ func (m *AddrMap) Lookup(addr, old int64, scratch []int64) *Record {
 	return rec
 }
 
+// Peek reports whether a Lookup(addr, old, ...) would hit, without
+// mutating anything: no statistics move and a stale record stays mapped
+// (its unmapping happens when the real Lookup replays). Because it is
+// read-only it is safe to call from concurrently-executing speculative
+// quanta while the map is otherwise frozen; Slice evaluation is pure and
+// scratch is caller-private.
+func (m *AddrMap) Peek(addr, old int64, scratch []int64) bool {
+	rec := m.lookupMapped(addr)
+	return rec != nil && rec.Slice.Eval(scratch) == old
+}
+
 // Release drops one pin from rec (its referencing log was discarded) and
 // frees its capacity if the record is no longer mapped.
 func (m *AddrMap) Release(rec *Record) {

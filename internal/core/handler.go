@@ -80,7 +80,7 @@ func (h *Handler) OnAssoc(core int, addr int64, recipe slice.Ref) int64 {
 	if into == nil {
 		into = &slice.Compiled{}
 	}
-	sl, err := h.tracker.CompileInto(into, recipe, cap)
+	sl, err := h.tracker.CompileInto(core, into, recipe, cap)
 	if err != nil {
 		h.addrMap.recycleSlice(into)
 		h.addrMap.stats.SliceTooLong++
@@ -114,6 +114,17 @@ func (h *Handler) Omittable(addr, old int64) *Record {
 		h.addrMap.CountOmitted()
 	}
 	return rec
+}
+
+// PeekOmittable predicts Omittable's decision without side effects: no
+// energy is charged, no statistics move, and stale records stay mapped.
+// scratch must be caller-private (speculative quanta call this
+// concurrently against the frozen AddrMap). The prediction matches the
+// later real Omittable call exactly as long as no AddrMap event touching
+// addr intervenes — the condition the parallel engine's conflict rules
+// guarantee for committing rounds.
+func (h *Handler) PeekOmittable(addr, old int64, scratch []int64) bool {
+	return h.addrMap.Peek(addr, old, scratch)
 }
 
 // Recompute regenerates an omitted value along its Slice (Fig. 4b),

@@ -234,12 +234,16 @@ func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hoo
 		c.quarters++
 
 	case in.Op == isa.BARRIER:
-		c.SetState(AtBarrier)
+		// Clock first, then the transition: OnState observers read the
+		// core's clock inclusive of the barrier instruction's own cycle
+		// (the sim scheduler's incremental barrier-time aggregate relies
+		// on this).
 		c.quarters++
+		c.SetState(AtBarrier)
 
 	case in.Op == isa.HALT:
-		c.SetState(Halted)
 		c.quarters++
+		c.SetState(Halted)
 
 	default:
 		panic(fmt.Sprintf("cpu: unhandled op %v at pc %d", in.Op, c.PC))

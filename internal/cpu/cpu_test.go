@@ -185,7 +185,7 @@ func TestRecipeOfStoredValueEvaluable(t *testing.T) {
 	tr := slice.NewTracker(1)
 	var got int64
 	hk := hookFunc(func(core int, addr int64, recipe slice.Ref) int64 {
-		c, ok := tr.Compile(recipe, 64)
+		c, ok := tr.Compile(core, recipe, 64)
 		if !ok {
 			panic("recipe must compile")
 		}

@@ -45,6 +45,20 @@ type Cache struct {
 	// Access fast path probes it before scanning the set.
 	mru  []int32
 	tick uint64
+
+	// Speculative rollback journal (BeginSpec/CommitSpec/AbortSpec): while
+	// spec is set, Access copies a set's ways and MRU slot into the journal
+	// before first touching it, so AbortSpec can restore the cache
+	// bit-identically to the round start. specEpoch stamps which sets are
+	// already journaled this round (bumping specCur invalidates all stamps
+	// in O(1)).
+	spec      bool
+	specEpoch []uint32
+	specCur   uint32
+	jSets     []int32
+	jWays     []way
+	jMRU      []int32
+	jTick     uint64
 }
 
 // NewCache builds a cache from cfg. Sets must be a power of two.
@@ -74,6 +88,9 @@ func NewCache(cfg CacheConfig) *Cache {
 func (c *Cache) Access(line int64, markDirty bool) (hit bool, evicted int64, evictedDirty bool) {
 	set := int(uint64(line) & uint64(c.sets-1))
 	base := set * c.ways
+	if c.spec {
+		c.journalTouch(set, base)
+	}
 	c.tick++
 	if m := &c.lines[base+int(c.mru[set])]; m.tag == line {
 		m.tick = c.tick
@@ -143,6 +160,50 @@ func (c *Cache) DirtyLines() int {
 		}
 	}
 	return n
+}
+
+// BeginSpec opens a speculative round: subsequent Accesses journal each
+// touched set's pre-round contents so AbortSpec can undo them. Rounds do
+// not nest. Accesses outside a round pay no journaling cost (one branch).
+func (c *Cache) BeginSpec() {
+	if c.specEpoch == nil {
+		c.specEpoch = make([]uint32, c.sets)
+	}
+	c.specCur++
+	if c.specCur == 0 { // epoch wrapped: hard-clear stale stamps
+		clear(c.specEpoch)
+		c.specCur = 1
+	}
+	c.jSets = c.jSets[:0]
+	c.jWays = c.jWays[:0]
+	c.jMRU = c.jMRU[:0]
+	c.jTick = c.tick
+	c.spec = true
+}
+
+// CommitSpec keeps the round's accesses and discards the journal.
+func (c *Cache) CommitSpec() { c.spec = false }
+
+// AbortSpec restores every set touched since BeginSpec, and the LRU clock,
+// to their pre-round state.
+func (c *Cache) AbortSpec() {
+	for i, set := range c.jSets {
+		base := int(set) * c.ways
+		copy(c.lines[base:base+c.ways], c.jWays[i*c.ways:(i+1)*c.ways])
+		c.mru[set] = c.jMRU[i]
+	}
+	c.tick = c.jTick
+	c.spec = false
+}
+
+func (c *Cache) journalTouch(set, base int) {
+	if c.specEpoch[set] == c.specCur {
+		return
+	}
+	c.specEpoch[set] = c.specCur
+	c.jSets = append(c.jSets, int32(set))
+	c.jWays = append(c.jWays, c.lines[base:base+c.ways]...)
+	c.jMRU = append(c.jMRU, c.mru[set])
 }
 
 // Reset invalidates the whole cache.

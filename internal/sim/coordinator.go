@@ -143,6 +143,7 @@ func (co *ckptCoordinator) establish() {
 		m.meter.Add(energy.BarrierSync, uint64(g.Cores))
 		m.meter.Add(energy.HandlerOp, uint64(g.Cores))
 	}
+	m.sched.noteClock(maxRelease)
 
 	switch {
 	case co.roiPending && tMax >= m.cfg.ROIStartCycles:

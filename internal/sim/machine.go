@@ -77,6 +77,14 @@ type Config struct {
 	// MaxSteps bounds total instruction executions as a runaway guard.
 	MaxSteps int64
 
+	// Workers selects intra-run parallelism: up to Workers OS threads
+	// execute independent cores' quanta concurrently in conflict-checked
+	// speculative rounds (parallel.go), committing in the serial merge
+	// order and falling back to serial replay on conflict. Results are
+	// bit-identical to Workers<=1 for every configuration; only wall-clock
+	// time changes. 0 and 1 mean serial execution.
+	Workers int
+
 	// RecordTimeline retains checkpoint/recovery events in the Result.
 	RecordTimeline bool
 	// TimelineCap bounds the recorded timeline to the most recent N
@@ -220,6 +228,7 @@ type Machine struct {
 
 	barriers int64
 	steps    int64
+	parStats ParallelStats
 
 	// archScratch is the reusable buffer archStates fills per checkpoint
 	// boundary; both consumers (ckpt.NewManager, ckpt.Establish) copy it
@@ -252,6 +261,11 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		if err := cfg.Errors.Validate(cfg.PeriodCycles); err != nil {
 			return nil, err
 		}
+		// The schedule carries a consumption cursor; clone it so two
+		// machines built from one Config (e.g. a serial oracle and a
+		// parallel run under comparison) don't steal each other's errors.
+		errs := *cfg.Errors
+		cfg.Errors = &errs
 	}
 	if cfg.TimelineCap < 0 {
 		return nil, fmt.Errorf("sim: negative timeline cap %d", cfg.TimelineCap)
@@ -357,6 +371,13 @@ const handlerCycles = 25
 // interleaving — and therefore every statistic — is bit-identical to the
 // per-instruction scheduling it replaces.
 func (m *Machine) Run() (Result, error) {
+	if m.cfg.Workers > 1 && len(m.cores) > 1 {
+		return m.runParallel()
+	}
+	return m.runSerial()
+}
+
+func (m *Machine) runSerial() (Result, error) {
 	for {
 		if m.sched.halted() == len(m.cores) {
 			break
@@ -408,6 +429,7 @@ func (m *Machine) Run() (Result, error) {
 		// One meter flush per quantum instead of one Add per instruction;
 		// counts are commutative, so totals stay bit-identical.
 		c.FlushAccounting(m.meter)
+		m.sched.noteClock(c.Cycles())
 	}
 	return m.result(), nil
 }
@@ -428,6 +450,7 @@ func (m *Machine) releaseBarrier() {
 	}
 	m.meter.Add(energy.BarrierSync, uint64(n))
 	m.barriers++
+	m.sched.noteClock(t)
 }
 
 // record publishes an event to every attached observer.

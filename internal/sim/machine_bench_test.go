@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	acr "acr/internal/core"
@@ -58,18 +59,33 @@ func benchRun(b *testing.B, cfg Config, p *prog.Program) {
 	}
 }
 
+// benchWorkersDim is the workers dimension of the benchmark matrix: serial
+// execution plus the parallel engine at GOMAXPROCS. On a single-CPU host
+// GOMAXPROCS degenerates to 1, so 4 stands in — there the parallel rows
+// measure the engine's coordination overhead, not speedup.
+func benchWorkersDim() []int {
+	if gmp := runtime.GOMAXPROCS(0); gmp > 1 {
+		return []int{1, gmp}
+	}
+	return []int{1, 4}
+}
+
 // BenchmarkMachineRun measures the simulator's hot loop — the quantum-
 // batched scheduler plus core stepping — at the paper's three machine
-// scales, with and without (amnesic) checkpointing. The reported metric is
-// wall-clock per simulated run; sim-MIPS puts it in simulator terms.
+// scales, with and without (amnesic) checkpointing, serial and through the
+// parallel engine. The reported metric is wall-clock per simulated run;
+// sim-MIPS puts it in simulator terms.
 func BenchmarkMachineRun(b *testing.B) {
 	for _, cores := range []int{8, 16, 32} {
 		for _, ckpt := range []bool{false, true} {
-			name := fmt.Sprintf("cores=%d/ckpt=%v", cores, ckpt)
-			b.Run(name, func(b *testing.B) {
-				cfg, p := benchSetup(b, cores, 10, ckpt)
-				benchRun(b, cfg, p)
-			})
+			for _, w := range benchWorkersDim() {
+				name := fmt.Sprintf("cores=%d/ckpt=%v/workers=%d", cores, ckpt, w)
+				b.Run(name, func(b *testing.B) {
+					cfg, p := benchSetup(b, cores, 10, ckpt)
+					cfg.Workers = w
+					benchRun(b, cfg, p)
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,473 @@
+// Parallel execution engine: conflict-checked concurrent core quanta with
+// serial fallback (Config.Workers > 1).
+//
+// The engine exploits the same isolation argument the quantum-batched serial
+// scheduler rests on (sched.go): the serial interleaving is fully
+// characterised by ordering instructions by (⌊start cycle⌋, core id, per-core
+// program order). A speculative round picks a horizon h — the earlier of the
+// next timed event (checkpoint boundary, error detection) and a fixed span —
+// and executes every running core with clock < h concurrently on a worker
+// pool, each against a private mem.SpecView that overlays its writes, records
+// the cache lines it touched, and defers every cross-core side effect
+// (directory metadata, log bits, stats, energy). Checkpoint hooks are
+// predicted against round-frozen state and recorded for replay.
+//
+// Commit requires the round to have been conflict-free: no line written by
+// one quantum (stores and ASSOC-ADDRed addresses) was touched — read or
+// written — by another. Conflict-free quanta read exactly the values the
+// serial oracle would have shown them, so replaying their deferred effects in
+// the serial merge order reproduces the serial machine bit-identically:
+// memory words, log bits, AddrMap contents, every statistic and every energy
+// count. Any round that conflicts (or poisons its stall prediction, or
+// panics on a worker) is discarded — cores, views, caches and tracker shards
+// roll back to the round start — and the span is re-executed through the
+// serial scheduler, the oracle. Determinism therefore never depends on the
+// engine being right about speculation, only on it detecting when it was
+// wrong.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"acr/internal/cpu"
+	"acr/internal/mem"
+	"acr/internal/slice"
+)
+
+// roundSpanCycles caps a speculative round's horizon in event-free
+// stretches. Smaller spans bound the work discarded on a conflict (and the
+// overlay/journal footprint); larger spans amortise round overhead. Rounds
+// never cross a timed event, so the cap only matters between events.
+const roundSpanCycles = 2048
+
+// ParallelStats describes what the parallel engine did during a run. It is
+// deliberately not part of Result: Result must be bit-identical across
+// worker counts, while these counters describe the (non-deterministic-free
+// but result-invariant) execution strategy.
+type ParallelStats struct {
+	// Rounds counts speculative rounds attempted; Committed and Aborted
+	// partition them. SerialQuanta counts quanta run serially because
+	// fewer than two cores were eligible.
+	Rounds       int64
+	Committed    int64
+	Aborted      int64
+	SerialQuanta int64
+	// SpecInstrs counts instructions executed speculatively and committed;
+	// ReplayInstrs counts instructions re-executed serially after aborts.
+	SpecInstrs   int64
+	ReplayInstrs int64
+}
+
+// ParallelStats returns the engine counters of the last Run (zero for
+// serial runs).
+func (m *Machine) ParallelStats() ParallelStats { return m.parStats }
+
+// hookEvent is one deferred checkpoint hook occurrence, recorded during
+// speculation and replayed through the real cpu.Hooks at commit.
+type hookEvent struct {
+	cycle     int64 // start cycle of the issuing instruction (merge key)
+	addr      int64
+	old       int64     // FirstStore: word value before the store
+	recipe    slice.Ref // Assoc: recipe of the paired store's value
+	predicted int64     // stall the speculative prediction charged
+	core      int32
+	kind      uint8
+}
+
+const (
+	evFirstStore uint8 = iota
+	evAssoc
+)
+
+// parallelEngine owns the worker pool and the per-core speculation state.
+// All fields indexed by core id are touched by at most one worker during a
+// round; everything else is main-goroutine only.
+type parallelEngine struct {
+	m *Machine
+
+	views   []*mem.SpecView // per-core speculative memory views
+	snaps   []cpu.SpecState // per-core rollback snapshots
+	events  [][]hookEvent   // per-core deferred hook events
+	scratch [][]int64       // per-core slice-evaluation scratch
+	panics  []any           // per-core captured worker panics
+
+	roundH   int64 // current round horizon; frozen while workers run
+	eligible []int
+	writerOf map[int64]int // line -> writing core, reused per round
+	merged   []hookEvent   // reusable merge buffer
+
+	jobs    chan int
+	results chan int
+}
+
+func newParallelEngine(m *Machine) *parallelEngine {
+	n := len(m.cores)
+	w := m.cfg.Workers
+	if w > n {
+		w = n
+	}
+	e := &parallelEngine{
+		m:        m,
+		views:    make([]*mem.SpecView, n),
+		snaps:    make([]cpu.SpecState, n),
+		events:   make([][]hookEvent, n),
+		scratch:  make([][]int64, n),
+		panics:   make([]any, n),
+		eligible: make([]int, 0, n),
+		writerOf: make(map[int64]int, 256),
+		jobs:     make(chan int, n),
+		results:  make(chan int, n),
+	}
+	for i := range e.views {
+		e.views[i] = mem.NewSpecView(m.sys, i)
+		e.scratch[i] = make([]int64, 512)
+	}
+	for i := 0; i < w; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *parallelEngine) shutdown() { close(e.jobs) }
+
+func (e *parallelEngine) worker() {
+	for id := range e.jobs {
+		e.runCore(id)
+		e.results <- id
+	}
+}
+
+// runCore executes one core's speculative quantum up to the round horizon.
+// It touches only the core, its SpecView, its tracker shard and frozen
+// shared state. A panic (the simulator's response to architecturally
+// impossible situations) is captured and re-raised deterministically by the
+// serial replay of the aborted round, on the machine's goroutine.
+func (e *parallelEngine) runCore(id int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics[id] = r
+		}
+	}()
+	m := e.m
+	c := m.cores[id]
+	sv := e.views[id]
+	for c.State == cpu.Running && c.Cycles() < e.roundH {
+		c.SpecStep(m.program, sv, m.tracker, e)
+	}
+}
+
+// SpecFirstStore implements cpu.SpecHooks: predict the stall against the
+// round-frozen AddrMap and defer the real hook to commit.
+func (e *parallelEngine) SpecFirstStore(core int, cycle int64, addr, old int64) int64 {
+	m := e.m
+	if m.mgr == nil {
+		return 0
+	}
+	sv := e.views[core]
+	if sv.AssocdOwn(addr) {
+		// The quantum ASSOC-ADDRed this address earlier in the round, so
+		// the frozen AddrMap cannot predict the stall (the pending
+		// insertion lands at replay, before this event). Unreachable given
+		// per-interval log bits, but poison rather than prove: the serial
+		// oracle resolves the round.
+		sv.Poisoned = true
+	}
+	stall := m.mgr.PredictFirstStore(addr, old, e.scratch[core])
+	e.events[core] = append(e.events[core], hookEvent{
+		cycle: cycle, core: int32(core), kind: evFirstStore,
+		addr: addr, old: old, predicted: stall,
+	})
+	return stall
+}
+
+// SpecAssoc implements cpu.SpecHooks. AddrMap insertion never stalls
+// (OnAssoc returns 0 whether the insertion is accepted or rejected), so the
+// prediction is trivial; the insertion itself is deferred to commit.
+func (e *parallelEngine) SpecAssoc(core int, cycle int64, addr int64, recipe slice.Ref) int64 {
+	if e.m.handler == nil {
+		return 0
+	}
+	e.events[core] = append(e.events[core], hookEvent{
+		cycle: cycle, core: int32(core), kind: evAssoc,
+		addr: addr, recipe: recipe,
+	})
+	return 0
+}
+
+// round runs one speculative round to horizon h: dispatch, conflict check,
+// then commit, or roll back and replay serially.
+func (e *parallelEngine) round(h int64) error {
+	m := e.m
+	e.roundH = h
+	for _, id := range e.eligible {
+		c := m.cores[id]
+		c.SaveSpec(&e.snaps[id])
+		e.views[id].Begin()
+		if m.tracker != nil {
+			m.tracker.BeginSpec(id)
+		}
+		e.events[id] = e.events[id][:0]
+		e.panics[id] = nil
+	}
+	m.parStats.Rounds++
+	for _, id := range e.eligible {
+		e.jobs <- id
+	}
+	for range e.eligible {
+		<-e.results
+	}
+
+	ok := true
+	for _, id := range e.eligible {
+		if e.panics[id] != nil || e.views[id].Poisoned {
+			ok = false
+		}
+	}
+	if ok && e.conflicts() {
+		ok = false
+	}
+	if !ok {
+		e.abort()
+		return m.serialSpan(h)
+	}
+	return e.commit()
+}
+
+// conflicts reports whether any line written by one quantum was touched by
+// another. ASSOC-ADDRed addresses count as writes (their replay mutates the
+// AddrMap entry other cores' stall predictions may have read).
+func (e *parallelEngine) conflicts() bool {
+	clear(e.writerOf)
+	for _, id := range e.eligible {
+		for _, ln := range e.views[id].WriteLines() {
+			if w, seen := e.writerOf[ln]; seen && w != id {
+				return true
+			}
+			e.writerOf[ln] = id
+		}
+	}
+	for _, id := range e.eligible {
+		for _, ln := range e.views[id].ReadLines() {
+			if w, seen := e.writerOf[ln]; seen && w != id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commit applies a conflict-free round in the serial merge order.
+func (e *parallelEngine) commit() error {
+	m := e.m
+
+	// 1. Memory effects: DRAM words, log bits, directory metadata, cache
+	// journals, per-core stats, buffered energy. Per-line effects commute
+	// across the round's quanta because each line has at most one writer.
+	for _, id := range e.eligible {
+		e.views[id].Commit()
+	}
+
+	// 2. Hook replay in the serial merge order (⌊start cycle⌋, core id,
+	// per-core program order): checkpoint log appends and AddrMap
+	// mutations land exactly as the serial oracle would order them. The
+	// stable sort keeps each core's events in program order within a
+	// cycle. A replay stall differing from the prediction would mean
+	// mispredicted timing is already baked into a committed clock; the
+	// conflict and poison rules make that unreachable, and the check
+	// turns any gap in that argument into a hard error instead of a
+	// silently wrong profile.
+	e.merged = e.merged[:0]
+	for _, id := range e.eligible {
+		e.merged = append(e.merged, e.events[id]...)
+	}
+	sort.SliceStable(e.merged, func(i, j int) bool {
+		if e.merged[i].cycle != e.merged[j].cycle {
+			return e.merged[i].cycle < e.merged[j].cycle
+		}
+		return e.merged[i].core < e.merged[j].core
+	})
+	for i := range e.merged {
+		ev := &e.merged[i]
+		var stall int64
+		switch ev.kind {
+		case evFirstStore:
+			stall = m.FirstStore(int(ev.core), ev.addr, ev.old)
+		case evAssoc:
+			stall = m.Assoc(int(ev.core), ev.addr, ev.recipe)
+		}
+		if stall != ev.predicted {
+			return fmt.Errorf("sim: parallel hook replay diverged on core %d addr %d (predicted stall %d, replay %d); speculation is unsound for this run",
+				ev.core, ev.addr, ev.predicted, stall)
+		}
+	}
+
+	// 3. Recipe arenas: compaction was deferred during the round so the
+	// recorded slice.Refs stayed valid through replay; release now.
+	if m.tracker != nil {
+		for _, id := range e.eligible {
+			m.tracker.CommitSpec(id)
+		}
+	}
+
+	// 4. Scheduling transitions (replayed through SetState so OnState
+	// observers fire exactly once, on the machine's goroutine), meter
+	// flushes, clock notes and the step budget.
+	for _, id := range e.eligible {
+		c := m.cores[id]
+		if to := c.State; to != e.snaps[id].SavedState() {
+			c.State = e.snaps[id].SavedState()
+			c.SetState(to)
+		}
+		c.FlushAccounting(m.meter)
+		m.sched.noteClock(c.Cycles())
+		d := c.Instrs - e.snaps[id].SavedInstrs()
+		m.steps += d
+		m.parStats.SpecInstrs += d
+	}
+	m.parStats.Committed++
+	return nil
+}
+
+// abort rolls every participating core, view and tracker shard back to the
+// round start. The restore is bit-exact, so the serial replay that follows
+// sees precisely the state the round started from.
+func (e *parallelEngine) abort() {
+	m := e.m
+	for _, id := range e.eligible {
+		m.cores[id].RestoreSpec(&e.snaps[id])
+		e.views[id].Abort()
+		if m.tracker != nil {
+			m.tracker.AbortSpec(id)
+		}
+	}
+	m.parStats.Aborted++
+}
+
+// serialSpan re-executes an aborted round's span through the serial
+// scheduler until every running core has reached h (or the machine blocks
+// or halts). No timed event can fire inside the span — h never exceeds the
+// next armed event — but barrier releases can, exactly as in the serial
+// loop. A panic the speculative round captured re-raises here, on the
+// machine's goroutine, at the same instruction.
+func (m *Machine) serialSpan(h int64) error {
+	before := m.steps
+	defer func() { m.parStats.ReplayInstrs += m.steps - before }()
+	for {
+		if m.sched.halted() == len(m.cores) {
+			return nil
+		}
+		if m.sched.running() == 0 {
+			if m.sched.atBarrier() > 0 {
+				m.releaseBarrier()
+				continue
+			}
+			return errors.New("sim: no runnable cores (scheduling bug)")
+		}
+		c, bound := m.sched.pick()
+		if c.Cycles() >= h {
+			return nil
+		}
+		if bound > h {
+			bound = h
+		}
+		for c.State == cpu.Running && c.Cycles() < bound {
+			c.Step(m.program, m.sys, m.tracker, m)
+			m.steps++
+			if m.steps > m.cfg.MaxSteps {
+				c.FlushAccounting(m.meter)
+				return fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+			}
+		}
+		c.FlushAccounting(m.meter)
+		m.sched.noteClock(c.Cycles())
+	}
+}
+
+// runParallel is the parallel counterpart of runSerial. Event handling,
+// termination and the single-core fast path are byte-for-byte the serial
+// logic; only event-free multi-core stretches run as speculative rounds.
+func (m *Machine) runParallel() (Result, error) {
+	e := newParallelEngine(m)
+	defer e.shutdown()
+	for {
+		if m.sched.halted() == len(m.cores) {
+			break
+		}
+		if m.sched.running() == 0 {
+			if m.sched.atBarrier() > 0 {
+				m.releaseBarrier()
+				continue
+			}
+			return Result{}, errors.New("sim: no runnable cores (scheduling bug)")
+		}
+
+		c, bound := m.sched.pick()
+		horizon := c.Cycles()
+
+		// Timed events up to the horizon, in timestamp order (identical
+		// to runSerial).
+		ckptTime, haveCkpt := m.coord.next()
+		haveCkpt = haveCkpt && ckptTime <= horizon
+		errOccur, errDetect, haveErr := m.recov.next()
+		haveErr = haveErr && errDetect <= horizon
+		switch {
+		case haveCkpt && (!haveErr || ckptTime <= errDetect):
+			m.coord.onBoundary()
+			continue
+		case haveErr:
+			if err := m.recov.recover(errOccur, errDetect); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+
+		// Round horizon: the next armed event, capped to a span so
+		// conflicts stay quantum-granular in event-free stretches.
+		h := horizon + roundSpanCycles
+		if t, ok := m.coord.next(); ok && t < h {
+			h = t
+		}
+		if _, detect, ok := m.recov.next(); ok && detect < h {
+			h = detect
+		}
+		e.eligible = e.eligible[:0]
+		for _, cc := range m.cores {
+			if cc.State == cpu.Running && cc.Cycles() < h {
+				e.eligible = append(e.eligible, cc.ID)
+			}
+		}
+
+		if len(e.eligible) < 2 {
+			// One movable core: speculation buys nothing. Run the serial
+			// quantum verbatim.
+			if t, ok := m.coord.next(); ok && t < bound {
+				bound = t
+			}
+			if _, detect, ok := m.recov.next(); ok && detect < bound {
+				bound = detect
+			}
+			for c.State == cpu.Running && c.Cycles() < bound {
+				c.Step(m.program, m.sys, m.tracker, m)
+				m.steps++
+				if m.steps > m.cfg.MaxSteps {
+					c.FlushAccounting(m.meter)
+					return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+				}
+			}
+			c.FlushAccounting(m.meter)
+			m.sched.noteClock(c.Cycles())
+			m.parStats.SerialQuanta++
+			continue
+		}
+
+		if err := e.round(h); err != nil {
+			return Result{}, err
+		}
+		if m.steps > m.cfg.MaxSteps {
+			return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+		}
+	}
+	return m.result(), nil
+}

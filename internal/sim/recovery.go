@@ -100,6 +100,9 @@ func (re *recoveryEngine) recover(errOccur, errDetect int64) error {
 		}
 	}
 	re.faults.Consume()
+	// The restores rewound clocks and states in ways the incremental
+	// scheduler aggregates cannot characterise; force a rescan.
+	m.sched.invalidate()
 	m.record(Event{Time: tDetect, Kind: EvError, Core: -1, Detail: errOccur})
 	m.record(Event{Time: release, Kind: EvRecovery, Core: -1,
 		Detail: info.WordsRestored, Aux: info.RecomputedValues, Dur: release - tDetect})

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 
 	"acr/internal/cpu"
@@ -24,14 +25,49 @@ import (
 // the instruction interleaving is bit-identical to per-instruction
 // rescanning, while the scheduling overhead drops from
 // O(instructions × cores) to O(events × cores).
+//
+// The same quantum-isolation argument is what makes the parallel engine
+// (parallel.go) deterministic: the serial interleaving it must reproduce
+// is fully characterised by ordering instructions by (⌊start cycle⌋, core
+// id, per-core program order) — within one cycle value the lowest-id core
+// runs first and executes all of its instructions for that cycle before
+// the next core, exactly pick()'s tie-break. A speculative round executes
+// several cores' quanta concurrently against round-frozen shared state and
+// commits their deferred effects in that merge order, so any round that
+// passes the conflict check produces bit-identical state to running the
+// same quanta serially; any round that does not is discarded and re-run
+// through this serial scheduler, the oracle.
+//
+// syncTime and liveMax are served from aggregates maintained through the
+// OnState hook plus noteClock notifications at the points where the run
+// loop advances a clock, falling back to a scan after events that rewind
+// clocks (recovery) or change the live set (halts) — see invalidate.
 type scheduler struct {
 	cores  []*cpu.Core
 	counts [3]int // populations indexed by cpu.State
+
+	// barrierMax is the latest clock among barrier-waiting cores,
+	// maintained on transitions into AtBarrier (the core's clock already
+	// includes the BARRIER instruction's cycle when the hook fires).
+	// barrierStale forces a rescan after transitions that can lower it
+	// (a waiter leaving while others remain, i.e. recovery restores).
+	barrierMax   int64
+	barrierStale bool
+
+	// clockHi is the high-water mark of the clocks the run loop has
+	// reported through noteClock. While liveStale is clear it equals the
+	// max clock over non-halted cores at every consultation point.
+	clockHi   int64
+	liveStale bool
 }
 
 // unbounded is the quantum bound when no other core constrains the pick
 // (the clock value is unreachable within MaxSteps).
 const unbounded = int64(math.MaxInt64)
+
+// debugCheckAggregates, set by tests, verifies every aggregate-served
+// syncTime/liveMax answer against the reference scan.
+var debugCheckAggregates bool
 
 // newScheduler attaches the state hook to every core and seeds the
 // population counters.
@@ -44,9 +80,53 @@ func newScheduler(cores []*cpu.Core) *scheduler {
 	return s
 }
 
-func (s *scheduler) transition(_ *cpu.Core, from, to cpu.State) {
+func (s *scheduler) transition(c *cpu.Core, from, to cpu.State) {
 	s.counts[from]--
 	s.counts[to]++
+	switch to {
+	case cpu.AtBarrier:
+		if t := c.Cycles(); t > s.barrierMax {
+			s.barrierMax = t
+		}
+	case cpu.Halted:
+		// A halted core leaves the live set; clockHi may now overestimate
+		// liveMax.
+		s.liveStale = true
+	}
+	switch from {
+	case cpu.AtBarrier:
+		if s.counts[cpu.AtBarrier] == 0 {
+			// Barrier fully released: the aggregate restarts exact.
+			s.barrierMax = 0
+			s.barrierStale = false
+		} else {
+			// A waiter left while others remain (recovery restore): the
+			// maximum may have dropped.
+			s.barrierStale = true
+		}
+	case cpu.Halted:
+		// Un-halt (recovery restore rewinds clocks).
+		s.liveStale = true
+	}
+}
+
+// noteClock reports that the run loop advanced a core's clock to t (cycle
+// units). The serial loop calls it once per quantum, the parallel engine
+// once per committed or replayed quantum, and the coordinator/recovery
+// paths after every synchronisation — every point where a clock moves
+// between liveMax consultations.
+func (s *scheduler) noteClock(t int64) {
+	if t > s.clockHi {
+		s.clockHi = t
+	}
+}
+
+// invalidate marks both aggregates stale after an event the hooks cannot
+// characterise exactly — recovery rewinds clocks arbitrarily. The next
+// syncTime/liveMax rescans and re-seeds.
+func (s *scheduler) invalidate() {
+	s.barrierStale = true
+	s.liveStale = true
 }
 
 func (s *scheduler) running() int   { return s.counts[cpu.Running] }
@@ -93,8 +173,25 @@ func (s *scheduler) pick() (*cpu.Core, int64) {
 }
 
 // syncTime returns the latest clock among barrier-waiting cores plus their
-// population (the barrier release point).
+// population (the barrier release point), from the incremental aggregate
+// when it is exact and by rescan otherwise.
 func (s *scheduler) syncTime() (t int64, n int) {
+	if !s.barrierStale {
+		t, n = s.barrierMax, s.counts[cpu.AtBarrier]
+		if debugCheckAggregates {
+			if st, sn := s.syncTimeScan(); st != t || sn != n {
+				panic(fmt.Sprintf("sim: syncTime aggregate (%d,%d) != scan (%d,%d)", t, n, st, sn))
+			}
+		}
+		return t, n
+	}
+	t, n = s.syncTimeScan()
+	s.barrierMax, s.barrierStale = t, false
+	return t, n
+}
+
+// syncTimeScan is the reference O(cores) computation of syncTime.
+func (s *scheduler) syncTimeScan() (t int64, n int) {
 	for _, c := range s.cores {
 		if c.State == cpu.AtBarrier {
 			n++
@@ -107,8 +204,31 @@ func (s *scheduler) syncTime() (t int64, n int) {
 }
 
 // liveMax returns the latest clock among non-halted cores (checkpoint
-// establishment and error-detection synchronisation points).
+// establishment and error-detection synchronisation points), from the
+// noteClock high-water mark when it is exact and by rescan otherwise.
 func (s *scheduler) liveMax(floor int64) int64 {
+	if !s.liveStale {
+		t := floor
+		if s.clockHi > t {
+			t = s.clockHi
+		}
+		if debugCheckAggregates {
+			if st := s.liveMaxScan(floor); st != t {
+				panic(fmt.Sprintf("sim: liveMax aggregate %d != scan %d (floor %d)", t, st, floor))
+			}
+		}
+		return t
+	}
+	t := s.liveMaxScan(0)
+	s.clockHi, s.liveStale = t, false
+	if t > floor {
+		return t
+	}
+	return floor
+}
+
+// liveMaxScan is the reference O(cores) computation of liveMax.
+func (s *scheduler) liveMaxScan(floor int64) int64 {
 	t := floor
 	for _, c := range s.cores {
 		if c.State != cpu.Halted && c.Cycles() > t {

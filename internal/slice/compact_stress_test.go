@@ -20,7 +20,9 @@ func TestCompactionStressMultiCore(t *testing.T) {
 		isa.FADD, isa.FMUL, isa.FSUB, isa.FMA, isa.CVTF}
 	rng := rand.New(rand.NewSource(11))
 	tr := NewTracker(nCores)
-	tr.compactLimit = 512
+	for i := range tr.shards {
+		tr.shards[i].compactLimit = 512
+	}
 	var regs [nCores][isa.NumRegs]int64
 	compactions := 0
 	lastLen := tr.ArenaLen()
@@ -59,7 +61,7 @@ func TestCompactionStressMultiCore(t *testing.T) {
 		}
 		for core := 0; core < nCores; core++ {
 			for r := isa.Reg(0); r < isa.NumRegs; r++ {
-				c, ok := tr.Compile(tr.Recipe(core, isa.Reg(r)), 256)
+				c, ok := tr.Compile(core, tr.Recipe(core, isa.Reg(r)), 256)
 				if !ok {
 					continue
 				}

@@ -179,8 +179,8 @@ func (s *compileScratch) set(r Ref, v int32) {
 // ASSOC-ADDR. Every emitted Slice is gated through Validate — the runtime
 // counterpart of the static recomputability proof — so dynamic extraction
 // can never hand recovery a Slice violating the soundness contract.
-func (t *Tracker) Compile(r Ref, maxOps int) (*Compiled, bool) {
-	c, err := t.CompileVerified(r, maxOps)
+func (t *Tracker) Compile(core int, r Ref, maxOps int) (*Compiled, bool) {
+	c, err := t.CompileVerified(core, r, maxOps)
 	return c, err == nil
 }
 
@@ -192,16 +192,19 @@ var errSliceBudget = fmt.Errorf("slice: recipe is opaque or exceeds the op budge
 // for opaque/over-long recipes, or a Validate diagnostic when the emitted
 // Slice violates the soundness contract (which would indicate recipe
 // tracker corruption — recovery must reject it rather than replay it).
-func (t *Tracker) CompileVerified(r Ref, maxOps int) (*Compiled, error) {
-	return t.CompileInto(nil, r, maxOps)
+func (t *Tracker) CompileVerified(core int, r Ref, maxOps int) (*Compiled, error) {
+	return t.CompileInto(core, nil, r, maxOps)
 }
 
 // CompileInto is CompileVerified compiling into a recycled Compiled shell:
 // into's Inputs/Ops backing arrays are truncated and reused, so the
 // steady-state association path (recycled shells supplied by the AddrMap
 // pool) performs no heap allocation. into == nil allocates a fresh shell.
-func (t *Tracker) CompileInto(into *Compiled, r Ref, maxOps int) (*Compiled, error) {
-	if t.at(r).kind == kindOpaque {
+// Unlike the tracking methods, compiles share the Tracker-wide visited
+// table and must not run concurrently — see the Tracker doc.
+func (t *Tracker) CompileInto(core int, into *Compiled, r Ref, maxOps int) (*Compiled, error) {
+	s := &t.shards[core]
+	if s.at(r).kind == kindOpaque {
 		return nil, errSliceBudget
 	}
 	c := into
@@ -212,7 +215,7 @@ func (t *Tracker) CompileInto(into *Compiled, r Ref, maxOps int) (*Compiled, err
 		c.Ops = c.Ops[:0]
 	}
 	t.cTab.begin()
-	if !t.emit(r, c, maxOps) {
+	if !s.emit(&t.cTab, r, c, maxOps) {
 		return nil, errSliceBudget
 	}
 	// Fix up operand encodings: inputs keep their index; op results are
@@ -240,12 +243,12 @@ func (t *Tracker) CompileInto(into *Compiled, r Ref, maxOps int) (*Compiled, err
 }
 
 // emit appends r's subgraph to c in topological order. During the walk,
-// cTab holds: input index (≥ 0) for leaves, ^opIndex (< 0) for ops.
-func (t *Tracker) emit(r Ref, c *Compiled, maxOps int) bool {
-	if _, done := t.cTab.get(r); done {
+// tab holds: input index (≥ 0) for leaves, ^opIndex (< 0) for ops.
+func (s *shard) emit(tab *compileScratch, r Ref, c *Compiled, maxOps int) bool {
+	if _, done := tab.get(r); done {
 		return true
 	}
-	n := t.at(r)
+	n := s.at(r)
 	switch n.kind {
 	case kindOpaque:
 		return false
@@ -255,14 +258,14 @@ func (t *Tracker) emit(r Ref, c *Compiled, maxOps int) bool {
 			val = n.val
 		}
 		c.Inputs = append(c.Inputs, val)
-		t.cTab.set(r, int32(len(c.Inputs)-1))
+		tab.set(r, int32(len(c.Inputs)-1))
 		return true
 	}
 	for _, ch := range [3]Ref{n.a, n.b, n.c} {
 		if ch == noRef {
 			continue
 		}
-		if !t.emit(ch, c, maxOps) {
+		if !s.emit(tab, ch, c, maxOps) {
 			return false
 		}
 	}
@@ -271,15 +274,15 @@ func (t *Tracker) emit(r Ref, c *Compiled, maxOps int) bool {
 	}
 	op := COp{Op: n.op, A: unusedEnc, B: unusedEnc, C: unusedEnc, Imm: n.imm}
 	if n.a != noRef {
-		op.A, _ = t.cTab.get(n.a)
+		op.A, _ = tab.get(n.a)
 	}
 	if n.b != noRef {
-		op.B, _ = t.cTab.get(n.b)
+		op.B, _ = tab.get(n.b)
 	}
 	if n.c != noRef {
-		op.C, _ = t.cTab.get(n.c)
+		op.C, _ = tab.get(n.c)
 	}
 	c.Ops = append(c.Ops, op)
-	t.cTab.set(r, ^int32(len(c.Ops)-1))
+	tab.set(r, ^int32(len(c.Ops)-1))
 	return true
 }

@@ -38,7 +38,7 @@ func (s *regSim) load(rd isa.Reg, val int64) {
 func (s *regSim) checkInvariant(t *testing.T, maxOps int) {
 	t.Helper()
 	for r := isa.Reg(0); r < isa.NumRegs; r++ {
-		c, ok := s.t.Compile(s.t.Recipe(0, r), maxOps)
+		c, ok := s.t.Compile(0, s.t.Recipe(0, r), maxOps)
 		if !ok {
 			continue
 		}
@@ -59,7 +59,7 @@ func TestRecipeMatchesArchitecturalValue(t *testing.T) {
 	s.exec(isa.Instr{Op: isa.ADD, Rd: 6, Rs: 4, Rt: 5})
 	s.checkInvariant(t, 64)
 
-	c, ok := s.t.Compile(s.t.Recipe(0, 6), 64)
+	c, ok := s.t.Compile(0, s.t.Recipe(0, 6), 64)
 	if !ok {
 		t.Fatal("r6 should compile")
 	}
@@ -81,7 +81,7 @@ func TestSharedSubexpressionDeduplicated(t *testing.T) {
 	s.exec(isa.Instr{Op: isa.LI, Rd: 1, Imm: 3})
 	s.exec(isa.Instr{Op: isa.MUL, Rd: 2, Rs: 1, Rt: 1}) // 9
 	s.exec(isa.Instr{Op: isa.ADD, Rd: 3, Rs: 2, Rt: 2}) // 18, r2 shared
-	c, ok := s.t.Compile(s.t.Recipe(0, 3), 64)
+	c, ok := s.t.Compile(0, s.t.Recipe(0, 3), 64)
 	if !ok {
 		t.Fatal("compile failed")
 	}
@@ -98,7 +98,7 @@ func TestLoadsCutSlices(t *testing.T) {
 	s := newRegSim()
 	s.load(1, 41)
 	s.exec(isa.Instr{Op: isa.ADDI, Rd: 2, Rs: 1, Imm: 1})
-	c, ok := s.t.Compile(s.t.Recipe(0, 2), 64)
+	c, ok := s.t.Compile(0, s.t.Recipe(0, 2), 64)
 	if !ok {
 		t.Fatal("compile failed")
 	}
@@ -114,7 +114,7 @@ func TestOpaquePropagates(t *testing.T) {
 	s := newRegSim()
 	s.t.MarkOpaque(0, 1)
 	s.exec(isa.Instr{Op: isa.ADDI, Rd: 2, Rs: 1, Imm: 1})
-	if _, ok := s.t.Compile(s.t.Recipe(0, 2), 64); ok {
+	if _, ok := s.t.Compile(0, s.t.Recipe(0, 2), 64); ok {
 		t.Error("op over opaque child must be opaque")
 	}
 }
@@ -125,10 +125,10 @@ func TestSaturationCollapsesLongChains(t *testing.T) {
 	for i := 0; i < SatSize+10; i++ {
 		s.exec(isa.Instr{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1})
 	}
-	if s.t.Size(s.t.Recipe(0, 1)) != SatSize {
-		t.Errorf("size = %d, want saturated %d", s.t.Size(s.t.Recipe(0, 1)), SatSize)
+	if s.t.Size(0, s.t.Recipe(0, 1)) != SatSize {
+		t.Errorf("size = %d, want saturated %d", s.t.Size(0, s.t.Recipe(0, 1)), SatSize)
 	}
-	if _, ok := s.t.Compile(s.t.Recipe(0, 1), 300); ok {
+	if _, ok := s.t.Compile(0, s.t.Recipe(0, 1), 300); ok {
 		t.Error("saturated recipe must not compile")
 	}
 }
@@ -139,10 +139,10 @@ func TestCompileRespectsMaxOps(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		s.exec(isa.Instr{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1})
 	}
-	if _, ok := s.t.Compile(s.t.Recipe(0, 1), 10); ok {
+	if _, ok := s.t.Compile(0, s.t.Recipe(0, 1), 10); ok {
 		t.Error("21-op recipe compiled under maxOps=10")
 	}
-	if c, ok := s.t.Compile(s.t.Recipe(0, 1), 21); !ok || c.Len() != 21 {
+	if c, ok := s.t.Compile(0, s.t.Recipe(0, 1), 21); !ok || c.Len() != 21 {
 		t.Errorf("21-op recipe should compile under maxOps=21 (ok=%v)", ok)
 	}
 }
@@ -154,7 +154,7 @@ func TestFMAReadsDestination(t *testing.T) {
 	s.load(2, isa.F2I(3.0))
 	s.load(3, isa.F2I(4.0))
 	s.exec(isa.Instr{Op: isa.FMA, Rd: 1, Rs: 2, Rt: 3})
-	c, ok := s.t.Compile(s.t.Recipe(0, 1), 64)
+	c, ok := s.t.Compile(0, s.t.Recipe(0, 1), 64)
 	if !ok {
 		t.Fatal("FMA recipe should compile")
 	}
@@ -199,20 +199,20 @@ func TestCompactionPreservesRecipes(t *testing.T) {
 	tr.OnALU(0, isa.Instr{Op: isa.MULI, Rd: 2, Rs: 1, Imm: 3})
 	regs[2] = 33
 	tr.OnLoad(1, 5, 77)
-	// Force a compaction by generating garbage.
-	tr.compactLimit = tr.ArenaLen() + 50
+	// Force a compaction on core 1's shard by generating garbage.
+	tr.shards[1].compactLimit = len(tr.shards[1].arena) + 50
 	for i := 0; i < 200; i++ {
 		tr.OnALU(1, isa.Instr{Op: isa.LI, Rd: 9, Imm: int64(i)})
 	}
-	c, ok := tr.Compile(tr.Recipe(0, 2), 64)
+	c, ok := tr.Compile(0, tr.Recipe(0, 2), 64)
 	if !ok || c.Eval(nil) != 33 {
 		t.Fatalf("recipe lost across compaction: ok=%v", ok)
 	}
-	c, ok = tr.Compile(tr.Recipe(1, 5), 64)
+	c, ok = tr.Compile(1, tr.Recipe(1, 5), 64)
 	if !ok || c.Eval(nil) != 77 {
 		t.Fatalf("other core's recipe lost across compaction: ok=%v", ok)
 	}
-	c, ok = tr.Compile(tr.Recipe(1, 9), 64)
+	c, ok = tr.Compile(1, tr.Recipe(1, 9), 64)
 	if !ok || c.Eval(nil) != 199 {
 		t.Fatalf("latest recipe wrong after compaction: ok=%v", ok)
 	}
@@ -226,7 +226,7 @@ func TestResetCoreCapturesLiveIns(t *testing.T) {
 	var vals [isa.NumRegs]int64
 	vals[4] = 1234
 	tr.ResetCore(0, &vals)
-	c, ok := tr.Compile(tr.Recipe(0, 4), 64)
+	c, ok := tr.Compile(0, tr.Recipe(0, 4), 64)
 	if !ok || c.Eval(nil) != 1234 {
 		t.Fatal("live-in not captured by ResetCore")
 	}
@@ -237,13 +237,13 @@ func TestResetCoreCapturesLiveIns(t *testing.T) {
 
 func TestZeroRegisterRecipe(t *testing.T) {
 	tr := NewTracker(1)
-	c, ok := tr.Compile(tr.Recipe(0, 0), 64)
+	c, ok := tr.Compile(0, tr.Recipe(0, 0), 64)
 	if !ok || c.Eval(nil) != 0 {
 		t.Fatal("r0 recipe must evaluate to 0")
 	}
 	// Writes to r0 must not change its recipe.
 	tr.OnALU(0, isa.Instr{Op: isa.LI, Rd: 0, Imm: 5})
-	c, _ = tr.Compile(tr.Recipe(0, 0), 64)
+	c, _ = tr.Compile(0, tr.Recipe(0, 0), 64)
 	if c.Eval(nil) != 0 {
 		t.Fatal("r0 recipe changed by write")
 	}
@@ -260,7 +260,7 @@ func TestCompiledStringRenders(t *testing.T) {
 	s := newRegSim()
 	s.load(1, 10)
 	s.exec(isa.Instr{Op: isa.ADDI, Rd: 2, Rs: 1, Imm: 5})
-	c, _ := s.t.Compile(s.t.Recipe(0, 2), 64)
+	c, _ := s.t.Compile(0, s.t.Recipe(0, 2), 64)
 	out := c.String()
 	if out == "" {
 		t.Fatal("empty rendering")
@@ -380,7 +380,7 @@ func TestTrackerSetLiveIn(t *testing.T) {
 	tr := NewTracker(1)
 	tr.SetLiveIn(0, 4, 1234)
 	tr.OnALU(0, isa.Instr{Op: isa.ADDI, Rd: 5, Rs: 4, Imm: 1})
-	c, ok := tr.Compile(tr.Recipe(0, 5), 10)
+	c, ok := tr.Compile(0, tr.Recipe(0, 5), 10)
 	if !ok || c.Eval(nil) != 1235 {
 		t.Fatal("live-in not usable as slice input")
 	}

@@ -91,7 +91,7 @@ func TestValidateAcceptsCompiledSlices(t *testing.T) {
 	s.exec(isa.Instr{Op: isa.MUL, Rd: 3, Rs: 1, Rt: 1})
 	s.exec(isa.Instr{Op: isa.SHLI, Rd: 4, Rs: 2, Imm: 1})
 	s.exec(isa.Instr{Op: isa.ADD, Rd: 5, Rs: 3, Rt: 4})
-	c, err := s.t.CompileVerified(s.t.Recipe(0, 5), 10)
+	c, err := s.t.CompileVerified(0, s.t.Recipe(0, 5), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +142,10 @@ func TestCompileVerifiedBudgetSentinel(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		s.exec(isa.Instr{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1})
 	}
-	if _, err := s.t.CompileVerified(s.t.Recipe(0, 1), 3); err == nil {
+	if _, err := s.t.CompileVerified(0, s.t.Recipe(0, 1), 3); err == nil {
 		t.Fatal("over-budget recipe must fail to compile")
 	}
-	if c, err := s.t.CompileVerified(s.t.Recipe(0, 1), 10); err != nil || c.Len() != 6 {
+	if c, err := s.t.CompileVerified(0, s.t.Recipe(0, 1), 10); err != nil || c.Len() != 6 {
 		t.Fatalf("in-budget recipe must verify, got %v (len %d)", err, c.Len())
 	}
 }

@@ -14,12 +14,15 @@
 package slice
 
 import (
+	"math"
+
 	"acr/internal/isa"
 )
 
-// Ref identifies a recipe node inside a Tracker. Refs are invalidated by
-// arena compaction; they must not be stored outside the Tracker. Durable
-// consumers (the AddrMap) call Compile to obtain a standalone Slice.
+// Ref identifies a recipe node inside one core's shard of a Tracker. Refs
+// are invalidated by arena compaction; they must not be stored outside the
+// Tracker. Durable consumers (the AddrMap) call Compile to obtain a
+// standalone Slice.
 type Ref = int32
 
 const noRef Ref = -1
@@ -50,21 +53,15 @@ type node struct {
 	val  int64 // captured value for kindInput leaves
 }
 
-// Tracker maintains per-core, per-register recipes. It is the simulator's
-// stand-in for the paper's compiler pass plus the input-operand buffer.
-//
-// The per-instruction path (OnALU/OnLoad → push) appends into a
-// pre-sized arena and performs no other work; the arena is kept flat by
-// periodic compaction, which retains only nodes reachable from register
-// recipes. Compaction double-buffers the arena and reuses its remap and
-// work-stack scratch, so steady-state tracking is allocation-free.
-type Tracker struct {
-	arena  []node
-	opaque Ref
-	zero   Ref
-	// recipes[core*NumRegs+reg]
-	recipes []Ref
-	nCores  int
+// shard is one core's private recipe store. Recipes never reference nodes
+// of another core's shard — registers are core-private and loads cut
+// Slices — so shards share nothing and distinct cores may track
+// concurrently (the parallel execution engine's requirement).
+type shard struct {
+	arena   []node
+	opaque  Ref
+	zero    Ref
+	recipes [isa.NumRegs]Ref
 	// compactLimit triggers arena compaction; live recipes are bounded
 	// (≤ SatSize nodes per register), so compaction keeps memory flat.
 	compactLimit int
@@ -78,87 +75,138 @@ type Tracker struct {
 	// explicit DFS work list replacing the recursive walk.
 	remap []Ref
 	stack []Ref
-	// liveHi is the high-water mark of the post-compaction live set,
-	// used to pre-size fresh arenas.
+	// liveHi is the high-water mark of the post-compaction live set.
 	liveHi int
+
+	// Speculative-round state (BeginSpec/CommitSpec/AbortSpec). While a
+	// round is open, compaction is deferred by lifting compactLimit —
+	// refs recorded by the round's hook events must stay valid until the
+	// round commits — and savedLimit holds the real limit. specBase and
+	// specRecipes snapshot the rollback point: nodes are only appended
+	// during a round, so aborting truncates the arena and restores the
+	// recipe roots.
+	savedLimit  int
+	specBase    int
+	specRecipes [isa.NumRegs]Ref
+}
+
+// Tracker maintains per-core, per-register recipes. It is the simulator's
+// stand-in for the paper's compiler pass plus the input-operand buffer.
+//
+// The per-instruction path (OnALU/OnLoad → push) appends into a pre-sized
+// per-core arena and performs no other work; arenas are kept flat by
+// periodic compaction, which retains only nodes reachable from register
+// recipes. Compaction double-buffers the arena and reuses its remap and
+// work-stack scratch, so steady-state tracking is allocation-free.
+//
+// The tracker is sharded by core: the tracking methods taking a core index
+// (OnALU, OnLoad, the Begin/Commit/AbortSpec round protocol, ...) touch
+// only that core's shard, so such calls for DISTINCT cores are safe
+// concurrently (calls for the same core are not). Compile/CompileInto are
+// the exception: they reuse one Tracker-wide visited table (cTab) — a
+// per-shard table at 32 cores costs ~3 MB of scratch and measurably
+// thrashes the cache — and so must not run concurrently with each other.
+// The simulator honours this by compiling only on the main goroutine:
+// serial execution compiles in the FirstStore/Assoc hooks, and the
+// parallel engine defers those hooks during speculation (workers only
+// Peek, which evaluates already-compiled Slices) and replays them at
+// commit, serially.
+type Tracker struct {
+	shards []shard
 
 	// cTab is the epoch-stamped visited table reused by Compile.
 	cTab compileScratch
 }
 
-// defaultCompactLimit bounds the arena between compactions. It trades
-// compaction frequency (one sweep per ~64k retired tracked instructions)
-// against resident arena memory (two buffers of this many nodes).
-const defaultCompactLimit = 1 << 16
+// arenaBudget bounds the total arena nodes across all shards between
+// compactions — the same resident-memory budget the pre-sharding single
+// arena ran with. Each shard gets budget/nCores (floored), so machine-wide
+// footprint and amortized compaction cost stay flat as core count grows
+// instead of multiplying by it.
+const arenaBudget = 1 << 16
+
+// minCompactLimit floors the per-shard limit so small sweeps don't thrash;
+// compact() auto-raises the limit when a shard's live set outgrows it.
+const minCompactLimit = 1 << 11
 
 // NewTracker returns a tracker for nCores cores with all registers holding
 // the zero recipe (registers are architecturally zero at program start).
 func NewTracker(nCores int) *Tracker {
-	t := &Tracker{
-		nCores:       nCores,
-		recipes:      make([]Ref, nCores*isa.NumRegs),
-		compactLimit: defaultCompactLimit,
+	t := &Tracker{shards: make([]shard, nCores)}
+	limit := arenaBudget / nCores
+	if limit < minCompactLimit {
+		limit = minCompactLimit
 	}
-	t.arena = make([]node, 0, 4096)
-	t.opaque = t.push(node{kind: kindOpaque, size: SatSize})
-	t.zero = t.push(node{kind: kindZero, size: 0})
-	for i := range t.recipes {
-		t.recipes[i] = t.zero
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.compactLimit = limit
+		s.arena = make([]node, 0, limit/4)
+		s.opaque = s.push(node{kind: kindOpaque, size: SatSize})
+		s.zero = s.push(node{kind: kindZero, size: 0})
+		for r := range s.recipes {
+			s.recipes[r] = s.zero
+		}
 	}
 	return t
 }
 
-func (t *Tracker) push(n node) Ref {
-	t.arena = append(t.arena, n)
-	return Ref(len(t.arena) - 1)
+func (s *shard) push(n node) Ref {
+	s.arena = append(s.arena, n)
+	return Ref(len(s.arena) - 1)
 }
 
-func (t *Tracker) at(r Ref) *node { return &t.arena[r] }
+func (s *shard) at(r Ref) *node { return &s.arena[r] }
 
-// Recipe returns the recipe of reg on core.
-func (t *Tracker) Recipe(core int, reg isa.Reg) Ref {
+func (s *shard) recipe(reg isa.Reg) Ref {
 	if reg == 0 {
-		return t.zero
+		return s.zero
 	}
-	return t.recipes[core*isa.NumRegs+int(reg)]
+	return s.recipes[reg]
 }
 
-func (t *Tracker) setRecipe(core int, reg isa.Reg, r Ref) {
+func (s *shard) setRecipe(reg isa.Reg, r Ref) {
 	if reg == 0 {
 		return
 	}
-	t.recipes[core*isa.NumRegs+int(reg)] = r
-	if len(t.arena) >= t.compactLimit {
-		t.compact()
+	s.recipes[reg] = r
+	if len(s.arena) >= s.compactLimit {
+		s.compact()
 	}
 }
 
-// Size returns the unrolled instruction count of the recipe (SatSize if
-// saturated/unrecomputable).
-func (t *Tracker) Size(r Ref) int { return int(t.at(r).size) }
+// Recipe returns the recipe of reg on core.
+func (t *Tracker) Recipe(core int, reg isa.Reg) Ref {
+	return t.shards[core].recipe(reg)
+}
+
+// Size returns the unrolled instruction count of core's recipe r (SatSize
+// if saturated/unrecomputable).
+func (t *Tracker) Size(core int, r Ref) int { return int(t.shards[core].at(r).size) }
 
 // OnLoad records that a load wrote val into rd: the recipe becomes a
 // buffered-input leaf capturing the loaded value (loads cut Slices and
 // their results are input operands, paper §III-A / Fig. 3).
 func (t *Tracker) OnLoad(core int, rd isa.Reg, val int64) {
-	t.setRecipe(core, rd, t.push(node{kind: kindInput, val: val}))
+	s := &t.shards[core]
+	s.setRecipe(rd, s.push(node{kind: kindInput, val: val}))
 }
 
 // SetLiveIn marks rd as holding an externally-produced value val (e.g.
 // restored from a checkpoint). Like a load result, it becomes a buffered
 // input leaf.
 func (t *Tracker) SetLiveIn(core int, rd isa.Reg, val int64) {
-	t.setRecipe(core, rd, t.push(node{kind: kindInput, val: val}))
+	t.OnLoad(core, rd, val)
 }
 
 // ResetCore resets every register of core to input leaves capturing vals
 // (vals[0] is ignored; r0 stays the zero recipe).
 func (t *Tracker) ResetCore(core int, vals *[isa.NumRegs]int64) {
+	s := &t.shards[core]
 	for r := 1; r < isa.NumRegs; r++ {
-		t.recipes[core*isa.NumRegs+r] = t.push(node{kind: kindInput, val: vals[r]})
+		s.recipes[r] = s.push(node{kind: kindInput, val: vals[r]})
 	}
-	if len(t.arena) >= t.compactLimit {
-		t.compact()
+	if len(s.arena) >= s.compactLimit {
+		s.compact()
 	}
 }
 
@@ -168,38 +216,39 @@ func (t *Tracker) OnALU(core int, in isa.Instr) {
 	if !ok {
 		return
 	}
+	s := &t.shards[core]
 	var a, b, c Ref = noRef, noRef, noRef
 	switch in.Op {
 	case isa.LI, isa.LUI:
 		// No register sources.
 	case isa.MOV, isa.FNEG, isa.FABS, isa.FSQRT, isa.CVTF, isa.CVTI,
 		isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
-		a = t.Recipe(core, in.Rs)
+		a = s.recipe(in.Rs)
 	case isa.FMA:
-		a = t.Recipe(core, in.Rs)
-		b = t.Recipe(core, in.Rt)
-		c = t.Recipe(core, in.Rd)
+		a = s.recipe(in.Rs)
+		b = s.recipe(in.Rt)
+		c = s.recipe(in.Rd)
 	default:
-		a = t.Recipe(core, in.Rs)
-		b = t.Recipe(core, in.Rt)
+		a = s.recipe(in.Rs)
+		b = s.recipe(in.Rt)
 	}
 	size := 1
 	for _, ch := range [3]Ref{a, b, c} {
 		if ch == noRef {
 			continue
 		}
-		n := t.at(ch)
+		n := s.at(ch)
 		if n.kind == kindOpaque {
-			t.setRecipe(core, rd, t.opaque)
+			s.setRecipe(rd, s.opaque)
 			return
 		}
 		size += int(n.size)
 	}
 	if size >= SatSize {
-		t.setRecipe(core, rd, t.opaque)
+		s.setRecipe(rd, s.opaque)
 		return
 	}
-	t.setRecipe(core, rd, t.push(node{
+	s.setRecipe(rd, s.push(node{
 		kind: kindOp, op: in.Op, size: uint8(size),
 		a: a, b: b, c: c, imm: in.Imm,
 	}))
@@ -207,36 +256,77 @@ func (t *Tracker) OnALU(core int, in isa.Instr) {
 
 // MarkOpaque forces rd's recipe to the unrecomputable sentinel.
 func (t *Tracker) MarkOpaque(core int, rd isa.Reg) {
-	t.setRecipe(core, rd, t.opaque)
+	s := &t.shards[core]
+	s.setRecipe(rd, s.opaque)
 }
 
-// ArenaLen reports the number of live arena nodes (diagnostics/tests).
-func (t *Tracker) ArenaLen() int { return len(t.arena) }
+// ArenaLen reports the number of live arena nodes across all shards
+// (diagnostics/tests).
+func (t *Tracker) ArenaLen() int {
+	n := 0
+	for i := range t.shards {
+		n += len(t.shards[i].arena)
+	}
+	return n
+}
 
-// compact rebuilds the arena keeping only nodes reachable from register
-// recipes. Reachability is bounded: every live recipe has tree size
-// < SatSize, so the compacted arena is small regardless of execution
+// BeginSpec opens a speculative round on core's shard: the rollback point
+// is snapshotted and compaction is deferred, so refs handed out during the
+// round stay valid until CommitSpec (hook-event replay needs them) and
+// AbortSpec can discard the round by truncation. Rounds do not nest.
+func (t *Tracker) BeginSpec(core int) {
+	s := &t.shards[core]
+	s.savedLimit = s.compactLimit
+	s.compactLimit = math.MaxInt
+	s.specBase = len(s.arena)
+	s.specRecipes = s.recipes
+}
+
+// CommitSpec closes core's speculative round, keeping its nodes. Deferred
+// compaction runs now if the arena grew past the limit; the caller must not
+// hold refs across this call.
+func (t *Tracker) CommitSpec(core int) {
+	s := &t.shards[core]
+	s.compactLimit = s.savedLimit
+	if len(s.arena) >= s.compactLimit {
+		s.compact()
+	}
+}
+
+// AbortSpec discards every node pushed since BeginSpec and restores the
+// recipe roots, returning the shard bit-identically to its pre-round state
+// (nodes are immutable and only appended, so truncation suffices).
+func (t *Tracker) AbortSpec(core int) {
+	s := &t.shards[core]
+	s.arena = s.arena[:s.specBase]
+	s.recipes = s.specRecipes
+	s.compactLimit = s.savedLimit
+}
+
+// compact rebuilds the shard's arena keeping only nodes reachable from
+// register recipes. Reachability is bounded: every live recipe has tree
+// size < SatSize, so the compacted arena is small regardless of execution
 // length. The walk is iterative (explicit work stack) over a bulk-cleared
 // remap array, and the surviving nodes move into the spare buffer, which
 // is pre-sized from the live-set high-water mark so the following
 // compactLimit pushes never reallocate.
-func (t *Tracker) compact() {
-	if cap(t.remap) < len(t.arena) {
-		t.remap = make([]Ref, len(t.arena))
+func (s *shard) compact() {
+	if cap(s.remap) < len(s.arena) {
+		s.remap = make([]Ref, len(s.arena))
 	}
-	remap := t.remap[:len(t.arena)]
+	remap := s.remap[:len(s.arena)]
 	clear(remap) // 0 = not moved; stored values are new ref + 1
 
-	newArena := t.spare[:0]
-	if cap(newArena) < t.compactLimit {
-		newArena = make([]node, 0, t.compactLimit)
+	newArena := s.spare[:0]
+	if cap(newArena) < s.compactLimit {
+		newArena = make([]node, 0, s.compactLimit)
 	}
-	newArena = append(newArena, t.arena[t.opaque], t.arena[t.zero])
-	remap[t.opaque] = 1
-	remap[t.zero] = 2
+	newArena = append(newArena, s.arena[s.opaque], s.arena[s.zero])
+	remap[s.opaque] = 1
+	remap[s.zero] = 2
 
-	stack := t.stack[:0]
-	for i, root := range t.recipes {
+	stack := s.stack[:0]
+	for i, root := range s.recipes {
 		if remap[root] == 0 {
 			stack = append(stack, root)
 			for len(stack) > 0 {
@@ -245,7 +335,7 @@ func (t *Tracker) compact() {
 					stack = stack[:len(stack)-1]
 					continue
 				}
-				n := &t.arena[r]
+				n := &s.arena[r]
 				// Children move first; push in reverse so they are
 				// processed a, b, c.
 				ready := true
@@ -279,17 +369,17 @@ func (t *Tracker) compact() {
 				stack = stack[:len(stack)-1]
 			}
 		}
-		t.recipes[i] = remap[root] - 1
+		s.recipes[i] = remap[root] - 1
 	}
-	t.stack = stack[:0]
-	t.spare = t.arena[:0]
-	t.arena = newArena
-	t.opaque = 0
-	t.zero = 1
-	if len(t.arena) > t.liveHi {
-		t.liveHi = len(t.arena)
+	s.stack = stack[:0]
+	s.spare = s.arena[:0]
+	s.arena = newArena
+	s.opaque = 0
+	s.zero = 1
+	if len(s.arena) > s.liveHi {
+		s.liveHi = len(s.arena)
 	}
-	if len(t.arena)*2 > t.compactLimit {
-		t.compactLimit = len(t.arena) * 2
+	if len(s.arena)*2 > s.compactLimit {
+		s.compactLimit = len(s.arena) * 2
 	}
 }
