@@ -2,12 +2,20 @@
 //
 // Usage:
 //
-//	acrbench [-exp all|tableI|fig1|fig6|fig7|fig8|fig9|tableII|fig10|fig11|fig12|fig13|scal]
+//	acrbench [-exp all|tableI|fig1|fig6|fig7|fig8|fig9|tableII|fig10|fig11|fig12|fig13|scal|strategies]
 //	         [-threads N] [-class S|W|A] [-j N] [-workers N]
+//	         [-strategy-benches is,cg,mg] [-strategy-cores 4,8]
+//	         [-strategy-errors 1] [-strategy-json matrix.json]
 //
 // -j sizes the driver's job pool (distinct machines in flight); -workers
 // sets the intra-run worker count per machine (the deterministic parallel
 // engine, bit-identical to serial execution).
+//
+// -exp strategies crosses every checkpoint strategy (full, amnesic,
+// differential, tiered, auto) with the -strategy-benches workloads and
+// -strategy-cores core counts; -strategy-json exports the grid as a
+// machine-readable document. It is not part of 'all' — the paper set — and
+// must be requested explicitly.
 //
 // Each experiment prints the same rows/series the paper reports (absolute
 // numbers differ — the substrate is a simulator, not the authors' testbed —
@@ -15,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -40,6 +49,10 @@ func main() {
 	jobs := flag.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	workers := flag.Int("workers", 1, "intra-run simulation workers per machine (>1 = parallel engine, bit-identical to serial; 0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-job wall-time and queue-wait reports")
+	stratBenches := flag.String("strategy-benches", "is,cg,mg", "benchmarks for -exp strategies (comma separated)")
+	stratCores := flag.String("strategy-cores", "4,8", "core counts for -exp strategies (comma separated)")
+	stratErrors := flag.Int("strategy-errors", 1, "injected errors in the _E cells of -exp strategies")
+	stratJSON := flag.String("strategy-json", "", "write the strategy matrix as JSON to this file")
 	metricsDir := flag.String("metrics-dir", "", "write driver metrics (driver.prom, driver.json) into this directory")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -82,6 +95,29 @@ func main() {
 		{"fig12", func() (*stats.Table, error) { return r.Fig12(p) }},
 		{"fig13", func() (*stats.Table, error) { return r.Fig13(p) }},
 		{"scal", func() (*stats.Table, error) { return r.Scalability(p) }},
+		{"strategies", func() (*stats.Table, error) {
+			benches := splitList(*stratBenches)
+			cores, err := parseInts(*stratCores)
+			if err != nil {
+				return nil, fmt.Errorf("-strategy-cores: %w", err)
+			}
+			tab, err := r.StrategyMatrix(benches, cores, cl, *stratErrors)
+			if err != nil {
+				return nil, err
+			}
+			if *stratJSON != "" {
+				// All cells are memoised by the table run above, so the
+				// doc assembly is pure cache reads.
+				doc, err := r.StrategyMatrixDoc(benches, cores, cl, *stratErrors)
+				if err != nil {
+					return nil, err
+				}
+				if err := writeJSON(*stratJSON, doc); err != nil {
+					return nil, err
+				}
+			}
+			return tab, nil
+		}},
 		{"abl-policy", func() (*stats.Table, error) { return r.AblationPolicy(p) }},
 		{"abl-addrmap", func() (*stats.Table, error) { return r.AblationAddrMap(p) }},
 		{"abl-detect", func() (*stats.Table, error) { return r.AblationDetect(p) }},
@@ -95,9 +131,12 @@ func main() {
 	matched := 0
 	for _, e := range experiments {
 		isAblation := strings.HasPrefix(e.name, "abl-")
+		// The strategy matrix is its own grid (it ignores -threads), so
+		// 'all' — the paper set — does not imply it.
+		isExtra := isAblation || e.name == "strategies"
 		switch {
 		case want[e.name]:
-		case want["all"] && !isAblation:
+		case want["all"] && !isExtra:
 		case want["ablations"] && isAblation:
 		default:
 			continue
@@ -208,6 +247,42 @@ func writeDriverMetrics(dir string, reports []bench.JobReport, elapsed time.Dura
 		return err
 	}
 	return jf.Close()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	acrsim -bench is [-config ReCkpt_E] [-threads 8] [-class W]
-//	       [-ckpts 25] [-errors 1] [-threshold 0] [-workers 1] [-v]
-//	       [-trace out.json] [-metrics out.prom] [-profile out.json]
+//	acrsim -bench is [-config ReCkpt_E] [-strategy auto] [-threads 8]
+//	       [-class W] [-ckpts 25] [-errors 1] [-threshold 0] [-workers 1]
+//	       [-v] [-trace out.json] [-metrics out.prom] [-profile out.json]
+//	acrsim -list-strategies
 //
 // The configuration names follow the paper (§IV): NoCkpt, Ckpt_NE, Ckpt_E,
-// ReCkpt_NE, ReCkpt_E and their ",Loc" coordinated-local variants.
+// ReCkpt_NE, ReCkpt_E and their ",Loc" coordinated-local variants, plus the
+// strategy-engine spellings DiffCkpt_*, TierCkpt_* and AutoCkpt_*.
+// -strategy overrides the scheme while keeping the -config modifiers, so
+// `-config Ckpt_E -strategy tiered` runs TierCkpt_E; -list-strategies
+// prints the available schemes and exits.
 //
 // -workers N with N > 1 executes each simulated machine through the
 // deterministic parallel engine (conflict-checked speculative rounds,
@@ -33,6 +38,7 @@ import (
 	"strings"
 
 	"acr/internal/bench"
+	"acr/internal/ckpt"
 	"acr/internal/sim"
 	"acr/internal/telemetry"
 	"acr/internal/workloads"
@@ -47,11 +53,20 @@ func main() {
 	errs := flag.Int("errors", 0, "override error count for _E configurations")
 	threshold := flag.Int("threshold", 0, "Slice-length threshold override (0 = benchmark default)")
 	workers := flag.Int("workers", 1, "intra-run simulation workers (>1 = parallel engine, bit-identical to serial; 0 = GOMAXPROCS)")
+	strategy := flag.String("strategy", "", "checkpoint-strategy override: full|amnesic|differential|tiered|auto (aliases: diff, tier); keeps -config's _E/,Loc modifiers")
+	listStrategies := flag.Bool("list-strategies", false, "list the checkpoint strategies and exit")
 	verbose := flag.Bool("v", false, "print checkpoint interval details")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	metricsOut := flag.String("metrics", "", "write Prometheus text exposition to this file")
 	profileOut := flag.String("profile", "", "write JSON run profile to this file")
 	flag.Parse()
+
+	if *listStrategies {
+		for _, k := range ckpt.Kinds() {
+			fmt.Printf("%-13s %s\n", k, k.Describe())
+		}
+		return
+	}
 
 	cl, err := workloads.ClassByName(*class)
 	if err != nil {
@@ -60,6 +75,15 @@ func main() {
 	spec, err := parseSpec(*config)
 	if err != nil {
 		fatal(err)
+	}
+	if *strategy != "" {
+		kind, err := ckpt.ParseKind(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Ckpt = true
+		spec.Strategy = kind
+		spec.Amnesic = kind.Amnesic()
 	}
 	spec.NumCkpts = *ckpts
 	spec.Threshold = *threshold
@@ -96,6 +120,9 @@ func main() {
 
 	fmt.Printf("benchmark    %s (class %s, %d threads)\n", *benchName, cl.Name, *threads)
 	fmt.Printf("config       %s\n", spec)
+	if spec.Ckpt {
+		fmt.Printf("strategy     %s\n", spec.Kind())
+	}
 	fmt.Printf("cycles       %d\n", res.Cycles)
 	fmt.Printf("instructions %d\n", res.Instrs)
 	fmt.Printf("energy       %.3f uJ (dynamic %.3f uJ)\n", res.EnergyPJ/1e6, res.DynamicPJ/1e6)
@@ -112,6 +139,17 @@ func main() {
 				100*float64(res.Ckpt.OmittedWords)/float64(total))
 		}
 		fmt.Println()
+		if res.Ckpt.DeltaWords > 0 {
+			fmt.Printf("delta words  %d sealed per-epoch\n", res.Ckpt.DeltaWords)
+		}
+		if res.Ckpt.FastLogWords > 0 {
+			fmt.Printf("fast tier    %d words logged, %d demoted to DRAM\n",
+				res.Ckpt.FastLogWords, res.Ckpt.DemotedWords)
+		}
+		if res.Ckpt.MultiSnapshotRollbacks > 0 {
+			fmt.Printf("rollbacks    %d spanning multiple checkpoints (max depth %d)\n",
+				res.Ckpt.MultiSnapshotRollbacks, res.Ckpt.MaxRollbackDepth)
+		}
 		if res.Ckpt.Recoveries > 0 {
 			fmt.Printf("restored     %d words, %d recomputed along Slices\n",
 				res.Ckpt.RestoredWords, res.Ckpt.RecomputedWords)
@@ -206,28 +244,52 @@ func writeFile(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
+// specPrefixes maps a configuration-name prefix to its checkpoint strategy.
+// The full grammar is <prefix>_NE|_E[,Loc]; underscores and the ",Loc" comma
+// are optional, matching the paper's spelling and the older flat aliases
+// (ckptneloc etc.).
+var specPrefixes = map[string]ckpt.Kind{
+	"ckpt":     ckpt.KindFull,
+	"reckpt":   ckpt.KindAmnesic,
+	"diffckpt": ckpt.KindDifferential,
+	"tierckpt": ckpt.KindTiered,
+	"autockpt": ckpt.KindAuto,
+}
+
 func parseSpec(name string) (bench.Spec, error) {
-	switch strings.ToLower(strings.ReplaceAll(name, " ", "")) {
-	case "nockpt":
+	n := strings.ToLower(strings.ReplaceAll(name, " ", ""))
+	if n == "nockpt" {
 		return bench.NoCkpt, nil
-	case "ckpt_ne", "ckptne":
-		return bench.CkptNE, nil
-	case "ckpt_e", "ckpte":
-		return bench.CkptE, nil
-	case "reckpt_ne", "reckptne":
-		return bench.ReCkptNE, nil
-	case "reckpt_e", "reckpte":
-		return bench.ReCkptE, nil
-	case "ckpt_ne,loc", "ckptneloc":
-		return bench.CkptNELoc, nil
-	case "ckpt_e,loc", "ckpteloc":
-		return bench.CkptELoc, nil
-	case "reckpt_ne,loc", "reckptneloc":
-		return bench.ReCkptNELoc, nil
-	case "reckpt_e,loc", "reckpteloc":
-		return bench.ReCkptELoc, nil
 	}
-	return bench.Spec{}, fmt.Errorf("unknown configuration %q", name)
+	spec := bench.Spec{Ckpt: true}
+	if rest, ok := strings.CutSuffix(n, ",loc"); ok {
+		spec.Local = true
+		n = rest
+	} else if rest, ok := strings.CutSuffix(n, "loc"); ok {
+		spec.Local = true
+		n = rest
+	}
+	switch {
+	case strings.HasSuffix(n, "_ne"):
+		n = strings.TrimSuffix(n, "_ne")
+	case strings.HasSuffix(n, "ne"):
+		n = strings.TrimSuffix(n, "ne")
+	case strings.HasSuffix(n, "_e"):
+		spec.Errors = 1
+		n = strings.TrimSuffix(n, "_e")
+	case strings.HasSuffix(n, "e"):
+		spec.Errors = 1
+		n = strings.TrimSuffix(n, "e")
+	default:
+		return bench.Spec{}, fmt.Errorf("configuration %q lacks an _NE/_E suffix", name)
+	}
+	kind, ok := specPrefixes[n]
+	if !ok {
+		return bench.Spec{}, fmt.Errorf("unknown configuration %q", name)
+	}
+	spec.Strategy = kind
+	spec.Amnesic = kind.Amnesic()
+	return spec, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+
+	"acr/internal/isa"
+	"acr/internal/slice"
+)
+
+// This file implements the auto checkpoint strategy's static pass: an
+// AutoCheck-style compile-time sweep over every ASSOC-ADDR site that decides,
+// before the program runs, how the runtime amnesic machinery should treat
+// each site. The pass reuses the package's CFG, dominance, reaching-defs and
+// liveness analyses (through the shared Verifier) to prove per site whether
+// the stored value's static slice is replay-safe, and turns the proof into a
+// per-site policy:
+//
+//   - prune (-1): the site's static slice already exceeds the length cap the
+//     dynamic policy would apply (or the boost ceiling, or cannot be sliced
+//     at all), so every runtime compile at this site is predicted to be
+//     rejected work. The runtime drops the association before touching the
+//     AddrMap — the value is simply logged conventionally, so pruning can
+//     never make recovery unsound, it only removes wasted compile/insert
+//     energy.
+//   - boost (+n): the slice is proven replay-safe and the stored value is
+//     dead after the store (its only consumer WAS the store), but the slice
+//     is longer than the dynamic threshold. The site's length cap is raised
+//     to n so the runtime embeds it anyway: recomputation is the only way to
+//     regenerate a dead value, which is exactly the amnesic win the fixed
+//     threshold misses.
+//   - default (0): leave the dynamic policy alone. Notably, a short slice
+//     that fails static verification is NOT pruned: the static aliasing and
+//     closure proofs are conservative around loops, while the runtime
+//     compile validates against the actual executed trace and is the
+//     arbiter of soundness.
+//
+// The runtime compile still validates every accepted Slice against the
+// actual execution, so the plan is purely a cost policy; a wrong static
+// judgement costs traffic, never correctness.
+
+// AutoPlan is the result of PlanCheckpointSites: a per-PC site policy plus
+// the pass's accounting.
+type AutoPlan struct {
+	// SiteCaps is indexed by the ASSOC-ADDR instruction's PC. -1 prunes the
+	// site, 0 defers to the dynamic policy, a positive value overrides the
+	// site's Slice-length cap. Non-ASSOC PCs hold 0.
+	SiteCaps []int32
+
+	Sites     int // ASSOC-ADDR sites examined
+	Verified  int // sites whose static slice proved replay-safe
+	Pruned    int // sites pruned (unsound or over the boost ceiling)
+	Boosted   int // sites whose length cap was raised
+	Defaulted int // sites left to the dynamic policy
+}
+
+// boostFactor bounds how far the static pass may raise a site's length cap
+// above the dynamic threshold. Beyond it, recomputation cost dwarfs the log
+// write it saves even for dead values.
+const boostFactor = 4
+
+// PlanCheckpointSites statically analyses every ASSOC-ADDR site of code and
+// returns the auto strategy's site plan. threshold is the dynamic
+// Slice-length threshold the plan is computed against (non-positive selects
+// the paper's default of 10).
+func PlanCheckpointSites(code []isa.Instr, entry, threshold int) (*AutoPlan, error) {
+	if threshold <= 0 {
+		threshold = 10
+	}
+	v, err := NewVerifier(code, entry)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: auto plan: %w", err)
+	}
+	lv := NewLiveness(v.g)
+	plan := &AutoPlan{SiteCaps: make([]int32, len(code))}
+	boostCap := boostFactor * threshold
+
+	for pc, in := range code {
+		if in.Op != isa.ASSOCADDR {
+			continue
+		}
+		plan.Sites++
+		// The prog validator pairs every ASSOC-ADDR with the immediately
+		// preceding store; be defensive about raw code anyway.
+		if pc == 0 || code[pc-1].Op != isa.ST {
+			plan.SiteCaps[pc] = -1
+			plan.Pruned++
+			continue
+		}
+		st, err := slice.Backward(code[:pc], pc-1)
+		if err != nil || st.Len() > boostCap {
+			plan.SiteCaps[pc] = -1
+			plan.Pruned++
+			continue
+		}
+		if v.Verify(st) == nil {
+			plan.Verified++
+			if st.Len() > threshold {
+				// Proven replay-safe but over the dynamic threshold:
+				// boost the cap when the stored value is dead after the
+				// store — then the slice is the sole way to regenerate it
+				// and the longer recomputation is worth the omitted log
+				// write. The cap is raised to the full ceiling, not the
+				// static length, absorbing static/dynamic length skew.
+				valReg := code[pc-1].Rt
+				if valReg != 0 && lv.LiveOutAt(pc)&(1<<uint(valReg)) == 0 {
+					plan.SiteCaps[pc] = int32(boostCap)
+					plan.Boosted++
+					continue
+				}
+			}
+		}
+		if st.Len() > threshold {
+			// Not boostable, and the dynamic compile would reject the
+			// slice at the threshold anyway: every runtime compile at
+			// this site is predicted waste. Prune it.
+			plan.SiteCaps[pc] = -1
+			plan.Pruned++
+			continue
+		}
+		plan.Defaulted++
+	}
+	return plan, nil
+}

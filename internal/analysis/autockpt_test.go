@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"testing"
+
+	"acr/internal/isa"
+)
+
+// autoKernel builds a straight-line window with three ASSOC-ADDR sites that
+// exercise each plan policy against threshold 3:
+//
+//   - site A: slice of 2 (LI; MULI) — under threshold, defaulted;
+//   - site B: slice of 6 (LI + 5×ADDI), stored register dead afterwards —
+//     over threshold, verified, boostable;
+//   - site C: slice of 6 like B, but the stored register is read again
+//     after the store — over threshold and live, so pruned (not boostable,
+//     and the dynamic compile would reject it anyway);
+//   - site D: slice of 14 (LI + 13×XORI) — over the 4× boost ceiling,
+//     pruned outright.
+func autoKernel() []isa.Instr {
+	var code []isa.Instr
+	emit := func(in isa.Instr) { code = append(code, in) }
+	chain := func(rd isa.Reg, n int, op isa.Op) {
+		emit(isa.Instr{Op: isa.LI, Rd: rd, Imm: 1})
+		for i := 0; i < n; i++ {
+			emit(isa.Instr{Op: op, Rd: rd, Rs: rd, Imm: 3})
+		}
+	}
+	emit(isa.Instr{Op: isa.LI, Rd: 1, Imm: 64}) // base address
+
+	// Site A: short chain.
+	emit(isa.Instr{Op: isa.LI, Rd: 2, Imm: 7})
+	emit(isa.Instr{Op: isa.MULI, Rd: 2, Rs: 2, Imm: 3})
+	emit(isa.Instr{Op: isa.ST, Rt: 2, Rs: 1, Imm: 0})
+	emit(isa.Instr{Op: isa.ASSOCADDR, Rs: 1, Imm: 0})
+
+	// Site B: over-threshold chain, r3 dead after the store.
+	chain(3, 5, isa.ADDI)
+	emit(isa.Instr{Op: isa.ST, Rt: 3, Rs: 1, Imm: 1})
+	emit(isa.Instr{Op: isa.ASSOCADDR, Rs: 1, Imm: 1})
+
+	// Site C: over-threshold chain, r4 still live after the store.
+	chain(4, 5, isa.ADDI)
+	emit(isa.Instr{Op: isa.ST, Rt: 4, Rs: 1, Imm: 2})
+	emit(isa.Instr{Op: isa.ASSOCADDR, Rs: 1, Imm: 2})
+	emit(isa.Instr{Op: isa.ADDI, Rd: 5, Rs: 4, Imm: 1}) // keeps r4 live
+
+	// Site D: chain past the boost ceiling (4×3 = 12).
+	chain(6, 13, isa.XORI)
+	emit(isa.Instr{Op: isa.ST, Rt: 6, Rs: 1, Imm: 3})
+	emit(isa.Instr{Op: isa.ASSOCADDR, Rs: 1, Imm: 3})
+
+	emit(isa.Instr{Op: isa.HALT})
+	return code
+}
+
+func TestPlanCheckpointSitesPolicies(t *testing.T) {
+	code := autoKernel()
+	const threshold = 3
+	plan, err := PlanCheckpointSites(code, 0, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sites != 4 {
+		t.Fatalf("sites = %d, want 4", plan.Sites)
+	}
+	if plan.Defaulted != 1 || plan.Boosted != 1 || plan.Pruned != 2 {
+		t.Errorf("plan = defaulted %d, boosted %d, pruned %d; want 1/1/2 (%+v)",
+			plan.Defaulted, plan.Boosted, plan.Pruned, plan)
+	}
+
+	// Locate the four sites and check each cap individually.
+	var sites []int
+	for pc, in := range code {
+		if in.Op == isa.ASSOCADDR {
+			sites = append(sites, pc)
+		}
+	}
+	if len(sites) != 4 {
+		t.Fatalf("found %d ASSOC sites", len(sites))
+	}
+	if got := plan.SiteCaps[sites[0]]; got != 0 {
+		t.Errorf("short site cap = %d, want 0 (defaulted)", got)
+	}
+	if got, want := plan.SiteCaps[sites[1]], int32(4*threshold); got != want {
+		t.Errorf("dead-value site cap = %d, want boost to %d", got, want)
+	}
+	if got := plan.SiteCaps[sites[2]]; got != -1 {
+		t.Errorf("live-value over-threshold site cap = %d, want -1 (pruned)", got)
+	}
+	if got := plan.SiteCaps[sites[3]]; got != -1 {
+		t.Errorf("over-ceiling site cap = %d, want -1 (pruned)", got)
+	}
+
+	// Non-site PCs carry 0: a plan indexed by any other pc is inert.
+	for pc, cap := range plan.SiteCaps {
+		if code[pc].Op != isa.ASSOCADDR && cap != 0 {
+			t.Errorf("non-site pc %d has cap %d", pc, cap)
+		}
+	}
+}
+
+func TestPlanCheckpointSitesDefaultThreshold(t *testing.T) {
+	code := autoKernel()
+	plan, err := PlanCheckpointSites(code, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the default threshold of 10 the 6-long chains fall under the
+	// threshold and default; the 14-long dead-value chain is now within
+	// the 40-word boost ceiling, so nothing needs pruning.
+	if plan.Sites != 4 || plan.Pruned != 0 {
+		t.Errorf("default-threshold plan = %+v", plan)
+	}
+}
+
+func TestPlanCheckpointSitesDefensive(t *testing.T) {
+	// An ASSOC without a preceding store must be pruned, not crash the
+	// pass (the prog validator normally rejects such code).
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 8},
+		{Op: isa.ASSOCADDR, Rs: 1, Imm: 0},
+		{Op: isa.HALT},
+	}
+	plan, err := PlanCheckpointSites(code, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Pruned != 1 || plan.SiteCaps[1] != -1 {
+		t.Errorf("unpaired ASSOC not pruned: %+v", plan)
+	}
+}

@@ -43,8 +43,34 @@ type Spec struct {
 	// core).
 	MapCapacity int
 	// DetectFrac overrides the error-detection latency as a fraction of
-	// the checkpoint period (0 = the default 0.5; must stay ≤ 1).
+	// the checkpoint period (0 = the default 0.5; must stay ≤ the
+	// strategy's retained-checkpoint depth minus one).
 	DetectFrac float64
+
+	// Strategy selects the checkpoint scheme (ckpt.Kinds). The zero value
+	// composes with the legacy booleans: Amnesic spells ckpt.KindAmnesic,
+	// otherwise the conventional full-logging baseline. Specs are
+	// normalised before memoisation, so the boolean and explicit
+	// spellings share one cache cell instead of colliding or duplicating.
+	Strategy ckpt.Kind
+}
+
+// normalized folds the legacy Amnesic boolean and the Strategy field into
+// one canonical spelling: Strategy always names the scheme, and Amnesic is
+// set exactly for the amnesic-family strategies. Every cache key and
+// execution path uses the normalised form.
+func (s Spec) normalized() Spec {
+	if s.Strategy == ckpt.KindFull && s.Amnesic {
+		s.Strategy = ckpt.KindAmnesic
+	}
+	s.Amnesic = s.Strategy.Amnesic()
+	return s
+}
+
+// Kind returns the checkpoint strategy the Spec resolves to after
+// normalisation — the name CLIs and telemetry should report.
+func (s Spec) Kind() ckpt.Kind {
+	return s.normalized().Strategy
 }
 
 // The paper's named configurations.
@@ -65,9 +91,19 @@ func (s Spec) String() string {
 	if !s.Ckpt {
 		return "NoCkpt"
 	}
-	name := "Ckpt"
-	if s.Amnesic {
+	s = s.normalized()
+	var name string
+	switch s.Strategy {
+	case ckpt.KindAmnesic:
 		name = "ReCkpt"
+	case ckpt.KindDifferential:
+		name = "DiffCkpt"
+	case ckpt.KindTiered:
+		name = "TierCkpt"
+	case ckpt.KindAuto:
+		name = "AutoCkpt"
+	default:
+		name = "Ckpt"
 	}
 	if s.Errors > 0 {
 		name += "_E"
@@ -142,6 +178,7 @@ func NewRunner() *Runner {
 // calibrating against its NoCkpt baseline) nest through distinct cache
 // entries, so the once gates cannot deadlock.
 func (r *Runner) Run(benchName string, p Params, spec Spec) (sim.Result, error) {
+	spec = spec.normalized()
 	e := r.entry(runKey{benchName, p.Threads, p.Class.Name, spec})
 	e.once.Do(func() { e.res, e.err = r.run(benchName, p, spec) })
 	return e.res, e.err
@@ -210,11 +247,13 @@ func (r *Runner) run(benchName string, p Params, spec Spec) (sim.Result, error) 
 }
 
 func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, workers int, period, maxCkpts, roi int64, obs ...sim.Observer) (sim.Result, error) {
+	spec = spec.normalized()
 	cfg := sim.DefaultConfig(p.Threads)
 	cfg.Workers = workers
 	cfg.Observers = obs
 	if spec.Ckpt {
 		cfg.Checkpointing = true
+		cfg.Strategy = spec.Strategy
 		cfg.PeriodCycles = period
 		cfg.MaxCheckpoints = maxCkpts
 		cfg.ROIStartCycles = roi
@@ -222,7 +261,6 @@ func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, workers int
 			cfg.Mode = ckpt.Local
 		}
 		if spec.Amnesic {
-			cfg.Amnesic = true
 			threshold := spec.Threshold
 			if threshold == 0 {
 				threshold = bench.Threshold

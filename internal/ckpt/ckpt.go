@@ -1,15 +1,20 @@
-// Package ckpt implements the baseline BER substrate: log-based incremental
-// in-memory checkpointing in the style of ReVive/Rebound (paper §II-A).
-// Upon the first update to a memory word within a checkpoint interval, the
-// word's old value is logged to an in-memory log; establishing a checkpoint
+// Package ckpt implements the BER substrate as a pluggable strategy
+// engine. The baseline scheme is log-based incremental in-memory
+// checkpointing in the style of ReVive/Rebound (paper §II-A): upon the
+// first update to a memory word within a checkpoint interval, the word's
+// old value is logged to an in-memory log; establishing a checkpoint
 // writes back all dirty cache lines, records each core's architectural
-// state, and starts a fresh log. The two most recent checkpoints are
-// retained because the error-detection latency is bounded by the checkpoint
-// period (§II-A, Fig. 2).
+// state, and starts a fresh log. Retained checkpoints form a ring sized by
+// the strategy's retention depth — two for the paper's schemes, because
+// the error-detection latency is bounded by the checkpoint period (§II-A,
+// Fig. 2); deeper for the tiered strategy.
 //
-// When an ACR handler is attached, the manager becomes amnesic: old values
-// proven recomputable are omitted from the log and replaced by pinned
-// AddrMap records (paper §III).
+// The Strategy interface (strategy.go) is the seam: full, amnesic
+// (recomputable old values omitted and replaced by pinned AddrMap records,
+// paper §III), differential (flush-and-copy delta images), tiered (fast
+// NVM-like log tier with demotion) and auto (amnesic plus a static
+// analysis site plan) all plug into one Manager that owns the ring, the
+// interval logs and the generic bookkeeping.
 package ckpt
 
 import (
@@ -102,7 +107,10 @@ func (h ReplayHist) Total() int64 {
 	return t
 }
 
-// Stats aggregates manager activity over a run.
+// Stats aggregates manager activity over a run. The strategy-specific
+// counters (DeltaWords, FastLogWords, DemotedWords) stay zero for
+// strategies that don't produce them, so one struct carries every
+// scheme's cost accounting through Result and telemetry.
 type Stats struct {
 	Checkpoints  int64
 	Recoveries   int64
@@ -117,6 +125,20 @@ type Stats struct {
 	// (the per-dependency instrumentation that makes recomputation-cost
 	// claims auditable).
 	ReplayLens ReplayHist
+	// DeltaWords counts words captured into differential images at
+	// establishment (differential strategy).
+	DeltaWords int64
+	// FastLogWords counts log words written to the fast checkpoint tier
+	// (tiered strategy).
+	FastLogWords int64
+	// DemotedWords counts log words streamed fast→slow at establishment
+	// (tiered strategy).
+	DemotedWords int64
+	// MultiSnapshotRollbacks counts recoveries that crossed two or more
+	// retained intervals; MaxRollbackDepth is the deepest roll-back in
+	// intervals applied (paper Fig. 2's retention argument, exercised).
+	MultiSnapshotRollbacks int64
+	MaxRollbackDepth       int64
 }
 
 // EstablishInfo reports what a checkpoint establishment did, per
@@ -125,6 +147,10 @@ type EstablishInfo struct {
 	// Groups lists the coordination groups; under Global there is one
 	// covering all cores.
 	Groups []GroupInfo
+	// ClosedInterval is the just-sealed interval's volume (for strategies
+	// that only learn the volume at establishment — differential — the
+	// pre-establish OpenInterval reading would be stale).
+	ClosedInterval IntervalStat
 }
 
 // GroupInfo is the per-group establishment cost basis.
@@ -139,20 +165,32 @@ type GroupInfo struct {
 	// LogWords is the log traffic (address + old value per entry) written
 	// by the group's cores during the closing interval; it must drain
 	// through the memory controllers before the checkpoint is complete.
+	// For the differential and tiered strategies it also carries the
+	// establishment-time delta copy and demotion stream.
 	LogWords int
+	// FastLogWords is the log traffic draining through the fast
+	// checkpoint tier instead of the DRAM channel (tiered strategy).
+	FastLogWords int
 }
 
 // RollbackInfo reports what a roll-back did so the machine can charge time.
 type RollbackInfo struct {
 	Target *Snapshot
-	// LogWordsRead counts words read from the in-memory log.
+	// LogWordsRead counts words read from the in-memory log (or the
+	// retained image, for the differential strategy) over the DRAM
+	// channel.
 	LogWordsRead int64
+	// FastLogWordsRead counts words read from the fast log tier.
+	FastLogWordsRead int64
 	// WordsRestored counts memory writes performed.
 	WordsRestored int64
 	// RecomputeCycles is the recomputation occupancy per core.
 	RecomputeCycles []int64
 	// RecomputedValues counts amnesic values regenerated.
 	RecomputedValues int64
+	// IntervalsApplied is the roll-back depth: retained intervals crossed
+	// to reach the target (1 = newest checkpoint).
+	IntervalsApplied int
 }
 
 // InlineLogStallCycles is the store-side stall of enqueuing one log entry:
@@ -166,18 +204,22 @@ const (
 	OmitStallCycles      = 0
 )
 
-// Manager owns logs, snapshots and the omission decision. It implements
-// the bookkeeping half of checkpointing; the sim machine drives
-// coordination timing.
+// Manager owns the retained-checkpoint ring, the interval logs and the
+// generic bookkeeping; the strategy decides what is captured, sealed and
+// restored. The sim machine drives coordination timing.
 type Manager struct {
+	strat Strategy
 	mode  Mode
 	sys   *mem.System
 	meter *energy.Meter
 	acr   *core.Handler // nil: plain (non-amnesic) checkpointing
 
-	prev, cur *Snapshot
-	curLog    []LogEntry
-	prevLog   []LogEntry
+	// snaps is the retained-checkpoint ring, newest first: snaps[0] is
+	// the most recent established checkpoint. logs[i] holds the entries
+	// captured during the interval that began at snaps[i]; logs[0] is the
+	// open interval's log. Both are truncated to the strategy's retention.
+	snaps []*Snapshot
+	logs  [][]LogEntry
 
 	intervals []IntervalStat
 	curStat   IntervalStat
@@ -188,17 +230,42 @@ type Manager struct {
 	nextSeq        int64
 }
 
-// NewManager creates a manager and establishes the implicit initial
-// checkpoint (sequence 0 at time 0) from the given architectural states.
-func NewManager(mode Mode, sys *mem.System, meter *energy.Meter, acr *core.Handler, arch []cpu.ArchState) *Manager {
-	m := &Manager{mode: mode, sys: sys, meter: meter, acr: acr}
-	m.cur = &Snapshot{Seq: 0, Time: 0, Arch: append([]cpu.ArchState(nil), arch...)}
+// NewManager creates a manager for the given strategy and establishes the
+// implicit initial checkpoint (sequence 0 at time 0) from the given
+// architectural states. Memory must already hold the program's initial
+// image (the differential strategy snapshots it here). The ACR handler is
+// required by the amnesic and auto strategies and rejected by the others.
+func NewManager(kind Kind, mode Mode, sys *mem.System, meter *energy.Meter, acr *core.Handler, arch []cpu.ArchState) (*Manager, error) {
+	if kind.Amnesic() != (acr != nil) {
+		if acr != nil {
+			return nil, fmt.Errorf("ckpt: strategy %v does not take an ACR handler", kind)
+		}
+		return nil, fmt.Errorf("ckpt: strategy %v requires an ACR handler", kind)
+	}
+	if kind.GlobalOnly() && mode != Global {
+		return nil, fmt.Errorf("ckpt: strategy %v requires global coordination", kind)
+	}
+	m := &Manager{strat: newStrategy(kind, sys.Words()), mode: mode, sys: sys, meter: meter, acr: acr}
+	m.snaps = append(m.snaps, &Snapshot{Seq: 0, Time: 0, Arch: append([]cpu.ArchState(nil), arch...)})
+	m.logs = append(m.logs, nil)
 	m.nextSeq = 1
-	return m
+	if d, ok := m.strat.(*diffStrategy); ok {
+		d.init(m)
+	}
+	return m, nil
 }
 
 // Mode returns the coordination mode.
 func (m *Manager) Mode() Mode { return m.mode }
+
+// Kind returns the checkpoint strategy.
+func (m *Manager) Kind() Kind { return m.strat.Kind() }
+
+// Retention returns the number of checkpoints the strategy keeps.
+func (m *Manager) Retention() int { return m.strat.Retention() }
+
+// Retained returns the number of checkpoints currently in the ring.
+func (m *Manager) Retained() int { return len(m.snaps) }
 
 // Amnesic reports whether an ACR handler is attached.
 func (m *Manager) Amnesic() bool { return m.acr != nil }
@@ -228,28 +295,22 @@ func (m *Manager) Intervals() []IntervalStat { return m.intervals }
 func (m *Manager) OpenInterval() IntervalStat { return m.curStat }
 
 // Current returns the most recent established checkpoint.
-func (m *Manager) Current() *Snapshot { return m.cur }
+func (m *Manager) Current() *Snapshot { return m.snaps[0] }
+
+// totalLogWords sums the open interval's attributed log traffic.
+func (m *Manager) totalLogWords() int64 {
+	t := int64(0)
+	for _, w := range m.logWordsByCore {
+		t += w
+	}
+	return t
+}
 
 // OnFirstStore handles the first update to addr within the current
-// interval: the old value is either logged (charging the inline log write)
-// or amnesically omitted. It returns the store-side stall in cycles.
+// interval: the strategy logs, omits or ignores the old value. It returns
+// the store-side stall in cycles.
 func (m *Manager) OnFirstStore(coreID int, addr, old int64) int64 {
-	if m.acr != nil {
-		if rec := m.acr.Omittable(addr, old); rec != nil {
-			rec.Pin()
-			m.curLog = append(m.curLog, LogEntry{Addr: addr, Rec: rec, Writer: int8(coreID)})
-			m.curStat.Omitted++
-			m.stats.OmittedWords++
-			return OmitStallCycles
-		}
-	}
-	m.curLog = append(m.curLog, LogEntry{Addr: addr, Old: old, Writer: int8(coreID)})
-	m.curStat.Logged++
-	m.stats.LoggedWords++
-	m.logWordsByCore[coreID] += 2
-	// Log entry: address + old value written to the in-memory log.
-	m.meter.Add(energy.DRAMWrite, 2)
-	return InlineLogStallCycles
+	return m.strat.OnFirstStore(m, coreID, addr, old)
 }
 
 // PredictFirstStore returns the stall OnFirstStore(coreID, addr, old)
@@ -260,17 +321,18 @@ func (m *Manager) OnFirstStore(coreID int, addr, old int64) int64 {
 // engine's conflict rules guarantee the prediction matches the replay for
 // committing rounds.
 func (m *Manager) PredictFirstStore(addr, old int64, scratch []int64) int64 {
-	if m.acr != nil && m.acr.PeekOmittable(addr, old, scratch) {
-		return OmitStallCycles
-	}
-	return InlineLogStallCycles
+	return m.strat.Predict(m, addr, old, scratch)
 }
 
 // Establish creates a checkpoint at the given time from the cores'
 // architectural states. Under Local mode, groups are the current
-// communication components; under Global there is a single group.
+// communication components; under Global there is a single group. The
+// strategy's Seal runs first — before the log bits clear and the ring
+// rotates — capturing interval-granular state and deciding how the
+// closing traffic drains.
 func (m *Manager) Establish(time int64, arch []cpu.ArchState) EstablishInfo {
 	var info EstablishInfo
+	seal := m.strat.Seal(m, time)
 	archWordsPer := 0
 	if len(arch) > 0 {
 		archWordsPer = arch[0].Words()
@@ -286,51 +348,70 @@ func (m *Manager) Establish(time int64, arch []cpu.ArchState) EstablishInfo {
 		}
 		return int(t)
 	}
+	asGroup := func(mask uint64, cores int) GroupInfo {
+		g := GroupInfo{
+			Mask: mask, Cores: cores,
+			ArchWords: archWordsPer * cores,
+		}
+		if seal.LogsToFastTier {
+			g.FastLogWords = logWords(mask)
+		} else {
+			g.LogWords = logWords(mask)
+		}
+		return g
+	}
 	if m.mode == Global {
 		mask := m.sys.AllCoresMask()
 		flushed := m.sys.FlushDirty(mask)
-		info.Groups = []GroupInfo{{
-			Mask: mask, Cores: len(arch),
-			FlushedWords: flushed * lineWords,
-			ArchWords:    archWordsPer * len(arch),
-			LogWords:     logWords(mask),
-		}}
+		g := asGroup(mask, len(arch))
+		g.FlushedWords = flushed * lineWords
+		info.Groups = []GroupInfo{g}
 		m.sys.NewInterval(mask, true)
 	} else {
 		groups := m.sys.CommGroups()
-		for _, g := range groups {
-			flushed := m.sys.FlushDirty(g)
-			n := bits.OnesCount64(g)
-			info.Groups = append(info.Groups, GroupInfo{
-				Mask: g, Cores: n,
-				FlushedWords: flushed * lineWords,
-				ArchWords:    archWordsPer * n,
-				LogWords:     logWords(g),
-			})
+		for _, gm := range groups {
+			flushed := m.sys.FlushDirty(gm)
+			g := asGroup(gm, bits.OnesCount64(gm))
+			g.FlushedWords = flushed * lineWords
+			info.Groups = append(info.Groups, g)
 		}
-		for _, g := range groups {
-			m.sys.NewInterval(g, false)
+		for _, gm := range groups {
+			m.sys.NewInterval(gm, false)
 		}
 	}
+	// Establishment-time strategy traffic (delta copy, demotion stream)
+	// drains with the first — under the global-only strategies, the only —
+	// group.
+	info.Groups[0].LogWords += seal.ExtraSlowWords
 	m.logWordsByCore = [64]int64{}
 
 	// Architectural state goes to the in-memory checkpoint area.
 	m.meter.Add(energy.RegCkpt, uint64(archWordsPer*len(arch)))
 	m.meter.Add(energy.DRAMWrite, uint64(archWordsPer*len(arch)))
 
-	// Retire the older log: its pinned records are released and its
-	// backing array is recycled as the next interval's log, so steady-state
-	// logging regrows nothing. The stale entries beyond the reset length
-	// only reference records in the AddrMap's machine-lifetime pool.
-	retired := m.prevLog
-	m.releaseLog(retired)
-	m.prevLog = m.curLog
-	m.curLog = retired[:0]
+	// Rotate the ring. Once it is full, the oldest log retires: its pinned
+	// records are released and its backing array is recycled as the next
+	// interval's log, so steady-state logging regrows nothing. The stale
+	// entries beyond the reset length only reference records in the
+	// AddrMap's machine-lifetime pool.
+	var recycled []LogEntry
+	if len(m.snaps) == m.strat.Retention() {
+		oldest := m.logs[len(m.logs)-1]
+		m.releaseLog(oldest)
+		recycled = oldest[:0]
+		m.logs = m.logs[:len(m.logs)-1]
+		m.snaps = m.snaps[:len(m.snaps)-1]
+	}
+	m.logs = append(m.logs, nil)
+	copy(m.logs[1:], m.logs)
+	m.logs[0] = recycled
+	m.snaps = append(m.snaps, nil)
+	copy(m.snaps[1:], m.snaps)
+	m.snaps[0] = &Snapshot{Seq: m.nextSeq, Time: time, Arch: append([]cpu.ArchState(nil), arch...)}
+
+	info.ClosedInterval = m.curStat
 	m.intervals = append(m.intervals, m.curStat)
 	m.curStat = IntervalStat{}
-
-	m.prev = m.cur
-	m.cur = &Snapshot{Seq: m.nextSeq, Time: time, Arch: append([]cpu.ArchState(nil), arch...)}
 	m.nextSeq++
 	m.stats.Checkpoints++
 	if m.acr != nil {
@@ -351,17 +432,16 @@ func (m *Manager) releaseLog(log []LogEntry) {
 	}
 }
 
-// SafeTarget returns the most recent checkpoint established strictly before
-// the error occurrence time — the roll-back target per Fig. 2 (a checkpoint
-// established after the error occurred may hold corrupted state).
+// SafeTarget returns the most recent retained checkpoint established
+// strictly before the error occurrence time — the roll-back target per
+// Fig. 2 (a checkpoint established after the error occurred may hold
+// corrupted state). Deeper-retention strategies can reach past the two
+// newest checkpoints when the detection latency spans several periods.
 func (m *Manager) SafeTarget(errTime int64) (*Snapshot, error) {
-	if m.cur.Time < errTime {
-		return m.cur, nil
+	if i := m.strat.SafeTarget(m, errTime); i >= 0 {
+		return m.snaps[i], nil
 	}
-	if m.prev != nil && m.prev.Time < errTime {
-		return m.prev, nil
-	}
-	return nil, fmt.Errorf("ckpt: no safe checkpoint for error at %d (cur %d)", errTime, m.cur.Time)
+	return nil, fmt.Errorf("ckpt: no safe checkpoint for error at %d (cur %d)", errTime, m.snaps[0].Time)
 }
 
 // Rollback restores memory to the state captured by target, recomputing
@@ -372,25 +452,26 @@ func (m *Manager) SafeTarget(errTime int64) (*Snapshot, error) {
 // RollbackInfo.
 func (m *Manager) Rollback(target *Snapshot, nCores int) (RollbackInfo, error) {
 	info := RollbackInfo{Target: target, RecomputeCycles: make([]int64, nCores)}
-	if target != m.cur && target != m.prev {
+	depth := -1
+	for i, s := range m.snaps {
+		if s == target {
+			depth = i
+			break
+		}
+	}
+	if depth < 0 {
 		return info, fmt.Errorf("ckpt: rollback target seq %d is not retained", target.Seq)
 	}
-	// Undo the current interval first, then — when rolling back to the
-	// second most recent checkpoint — the previous one. A word logged in
-	// both intervals ends at the older interval's old value because the
-	// older log is applied last.
-	m.applyLog(m.curLog, &info)
-	if target == m.prev {
-		m.applyLog(m.prevLog, &info)
+	m.strat.Rollback(m, depth, &info)
+	info.IntervalsApplied = depth + 1
+
+	for _, log := range m.logs {
+		m.releaseLog(log)
 	}
-	m.releaseLog(m.curLog)
-	m.releaseLog(m.prevLog)
-	m.curLog = nil
-	m.prevLog = nil
+	m.logs = append(m.logs[:0], nil)
+	m.snaps = append(m.snaps[:0], target)
 	m.curStat = IntervalStat{}
 
-	m.cur = target
-	m.prev = nil
 	m.sys.NewInterval(m.sys.AllCoresMask(), true)
 	if m.acr != nil {
 		m.acr.OnRecovery()
@@ -398,10 +479,18 @@ func (m *Manager) Rollback(target *Snapshot, nCores int) (RollbackInfo, error) {
 	m.stats.Recoveries++
 	m.stats.RestoredWords += info.WordsRestored
 	m.stats.RecomputedWords += info.RecomputedValues
+	if depth >= 1 {
+		m.stats.MultiSnapshotRollbacks++
+	}
+	if d := int64(depth + 1); d > m.stats.MaxRollbackDepth {
+		m.stats.MaxRollbackDepth = d
+	}
 	return info, nil
 }
 
-func (m *Manager) applyLog(log []LogEntry, info *RollbackInfo) {
+// applyLog replays one interval's undo log. fast selects the log tier the
+// conventional entries are read from (tiered strategy).
+func (m *Manager) applyLog(log []LogEntry, fast bool, info *RollbackInfo) {
 	for i := range log {
 		e := &log[i]
 		var val int64
@@ -411,6 +500,11 @@ func (m *Manager) applyLog(log []LogEntry, info *RollbackInfo) {
 			info.RecomputeCycles[e.Rec.Core] += cycles
 			info.RecomputedValues++
 			m.stats.ReplayLens.observe(int64(e.Rec.Slice.Len()))
+		} else if fast {
+			// Read the entry (address + old value) from the fast log tier.
+			m.meter.Add(energy.NVMRead, 2)
+			info.FastLogWordsRead += 2
+			val = e.Old
 		} else {
 			// Read the entry (address + old value) from the log.
 			m.meter.Add(energy.DRAMRead, 2)

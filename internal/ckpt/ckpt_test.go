@@ -23,15 +23,29 @@ type rig struct {
 
 func newRig(t *testing.T, mode Mode, amnesic bool, nCores int) *rig {
 	t.Helper()
+	kind := KindFull
+	if amnesic {
+		kind = KindAmnesic
+	}
+	return newKindRig(t, kind, mode, nCores)
+}
+
+// newKindRig builds a rig running the given checkpoint strategy.
+func newKindRig(t *testing.T, kind Kind, mode Mode, nCores int) *rig {
+	t.Helper()
 	meter := energy.NewMeter(nil)
 	sys := mem.NewSystem(mem.DefaultConfig(), nCores, 4096, meter)
 	arch := make([]cpu.ArchState, nCores)
 	r := &rig{sys: sys, meter: meter}
-	if amnesic {
+	if kind.Amnesic() {
 		r.tr = slice.NewTracker(nCores)
 		r.h = core.NewHandler(core.Config{Threshold: 10, MapCapacity: 1024}, r.tr, meter)
 	}
-	r.mgr = NewManager(mode, sys, meter, r.h, arch)
+	mgr, err := NewManager(kind, mode, sys, meter, r.h, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mgr = mgr
 	return r
 }
 
@@ -49,7 +63,7 @@ func (r *rig) store(coreID int, addr, val int64) {
 func (r *rig) assocStore(coreID int, addr, val int64) {
 	r.tr.OnALU(coreID, isa.Instr{Op: isa.LI, Rd: 1, Imm: val})
 	r.store(coreID, addr, val)
-	r.h.OnAssoc(coreID, addr, r.tr.Recipe(coreID, 1))
+	r.h.OnAssoc(coreID, 0, addr, r.tr.Recipe(coreID, 1))
 }
 
 func (r *rig) establish(t *testing.T, time int64, nCores int) EstablishInfo {

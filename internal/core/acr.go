@@ -48,6 +48,8 @@ type AddrMapStats struct {
 	Rejected         uint64 // associations dropped: map full
 	SliceTooLong     uint64 // associations dropped: Slice exceeds the length cap
 	CostRejected     uint64 // associations dropped by the cost policy
+	PrunedAssocs     uint64 // associations dropped by the static site plan
+	BoostedAssocs    uint64 // associations whose length cap the site plan raised
 	Superseded       uint64 // records replaced by a newer store's record
 	Lookups          uint64
 	Hits             uint64 // lookups whose record recomputes the old value

@@ -129,7 +129,7 @@ func TestHandlerAssocGatesOnThreshold(t *testing.T) {
 	// Short chain: 2 ops, accepted.
 	tr.OnALU(0, isa.Instr{Op: isa.LI, Rd: 1, Imm: 5})
 	tr.OnALU(0, isa.Instr{Op: isa.MULI, Rd: 2, Rs: 1, Imm: 3})
-	h.OnAssoc(0, 100, tr.Recipe(0, 2))
+	h.OnAssoc(0, 0, 100, tr.Recipe(0, 2))
 	if h.AddrMap().Stats().Inserts != 1 {
 		t.Fatalf("short slice not inserted: %+v", h.AddrMap().Stats())
 	}
@@ -138,7 +138,7 @@ func TestHandlerAssocGatesOnThreshold(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		tr.OnALU(0, isa.Instr{Op: isa.ADDI, Rd: 2, Rs: 2, Imm: 1})
 	}
-	h.OnAssoc(0, 101, tr.Recipe(0, 2))
+	h.OnAssoc(0, 0, 101, tr.Recipe(0, 2))
 	st := h.AddrMap().Stats()
 	if st.Inserts != 1 || st.SliceTooLong != 1 {
 		t.Errorf("threshold gating failed: %+v", st)
@@ -152,7 +152,7 @@ func TestHandlerOmitRecomputeRoundTrip(t *testing.T) {
 
 	tr.OnLoad(0, 1, 40)
 	tr.OnALU(0, isa.Instr{Op: isa.ADDI, Rd: 2, Rs: 1, Imm: 2}) // value 42
-	h.OnAssoc(0, 100, tr.Recipe(0, 2))
+	h.OnAssoc(0, 0, 100, tr.Recipe(0, 2))
 
 	rec := h.Omittable(100, 42)
 	if rec == nil {
@@ -180,7 +180,7 @@ func TestHandlerEnergyCharged(t *testing.T) {
 	h := NewHandler(Config{Threshold: 10, MapCapacity: 16}, tr, meter)
 	tr.OnLoad(0, 1, 1)
 	tr.OnALU(0, isa.Instr{Op: isa.ADDI, Rd: 2, Rs: 1, Imm: 1})
-	h.OnAssoc(0, 5, tr.Recipe(0, 2))
+	h.OnAssoc(0, 0, 5, tr.Recipe(0, 2))
 	if meter.Count(energy.AddrMapOp) == 0 || meter.Count(energy.SliceBufOp) == 0 {
 		t.Error("assoc charged no AddrMap/slice-buffer energy")
 	}
@@ -200,7 +200,7 @@ func TestHandlerLifecycleHooks(t *testing.T) {
 	h := NewHandler(Config{Threshold: 10, MapCapacity: 16}, tr, energy.NewMeter(nil))
 	tr.OnLoad(0, 1, 7)
 	tr.OnALU(0, isa.Instr{Op: isa.MOV, Rd: 2, Rs: 1})
-	h.OnAssoc(0, 9, tr.Recipe(0, 2))
+	h.OnAssoc(0, 0, 9, tr.Recipe(0, 2))
 	h.OnCheckpoint()
 	if h.Omittable(9, 7) == nil {
 		t.Fatal("record must survive one checkpoint")

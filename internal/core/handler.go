@@ -19,6 +19,16 @@ type Config struct {
 	// Cost parameterises PolicyCost; the zero value is replaced by
 	// DefaultCostModel.
 	Cost CostModel
+	// SitePlan, when non-nil, is a static per-site policy indexed by the
+	// ASSOC-ADDR instruction's PC (the auto strategy's analysis pass
+	// produces it). Plan values: -1 prunes the site (the association is
+	// dropped before any compile work, as if the compiler had not embedded
+	// the instruction), 0 applies the dynamic policy unchanged, and a
+	// positive value overrides the Slice-length cap for that site.
+	// Pruning and boosting are cost policies only — the runtime compile
+	// still validates every accepted Slice — so a plan can never make
+	// recovery unsound, only cheaper or more amnesic.
+	SitePlan []int32
 }
 
 // DefaultConfig returns the paper's default ACR parameters. The AddrMap
@@ -67,12 +77,25 @@ func (h *Handler) Threshold() int { return h.cfg.Threshold }
 // The compile reuses a Compiled shell recycled from a freed AddrMap record
 // when one is available, so the steady-state association path performs no
 // heap allocation.
-func (h *Handler) OnAssoc(core int, addr int64, recipe slice.Ref) int64 {
-	h.meter.Add(energy.AddrMapOp, 1)
+func (h *Handler) OnAssoc(core, pc int, addr int64, recipe slice.Ref) int64 {
 	cap := h.cfg.Threshold
 	if h.cfg.Policy == PolicyCost {
 		cap = h.cfg.Cost.MaxLen
 	}
+	if h.cfg.SitePlan != nil && pc >= 0 && pc < len(h.cfg.SitePlan) {
+		switch plan := h.cfg.SitePlan[pc]; {
+		case plan < 0:
+			// Statically pruned site: the analysis proved this store's
+			// Slice can never be embedded (or never pays off), so the
+			// association is dropped before the AddrMap is even touched.
+			h.addrMap.stats.PrunedAssocs++
+			return 0
+		case plan > 0:
+			h.addrMap.stats.BoostedAssocs++
+			cap = int(plan)
+		}
+	}
+	h.meter.Add(energy.AddrMapOp, 1)
 	// Always hand CompileInto a shell (recycled when available) so a
 	// failing compile — the common case for over-threshold Slices — can
 	// return its shell to the pool instead of leaking a fresh allocation.

@@ -78,7 +78,7 @@ func TestHandlerCostPolicyAcceptsBeyondThreshold(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		tr.OnALU(0, isa.Instr{Op: isa.ADDI, Rd: 1, Rs: 1, Imm: 1})
 	}
-	h.OnAssoc(0, 7, tr.Recipe(0, 1))
+	h.OnAssoc(0, 0, 7, tr.Recipe(0, 1))
 	if h.AddrMap().Stats().Inserts != 1 {
 		t.Fatalf("cost policy rejected a profitable slice: %+v", h.AddrMap().Stats())
 	}

@@ -60,10 +60,11 @@ type Hooks interface {
 	// charged to the storing core (the inline log write or the cheaper
 	// AddrMap check when the value is omitted).
 	FirstStore(core int, addr, old int64) int64
-	// Assoc fires when an ASSOC-ADDR retires, carrying the effective
-	// address of the paired store and the recipe of the stored value.
-	// It returns extra stall cycles (AddrMap insertion).
-	Assoc(core int, addr int64, recipe slice.Ref) int64
+	// Assoc fires when an ASSOC-ADDR retires, carrying the instruction's
+	// own PC (keying static per-site policies), the effective address of
+	// the paired store and the recipe of the stored value. It returns
+	// extra stall cycles (AddrMap insertion).
+	Assoc(core, pc int, addr int64, recipe slice.Ref) int64
 }
 
 // quarters per cycle: the 4-issue core is accounted in quarter-cycle units
@@ -224,7 +225,7 @@ func (c *Core) Step(p *prog.Program, m *mem.System, tr *slice.Tracker, hooks Hoo
 		c.accL1D++
 		c.quarters++
 		if hooks != nil && tr != nil {
-			c.quarters += hooks.Assoc(c.ID, c.lastStoreAddr, tr.Recipe(c.ID, c.lastStoreReg)) * qPerCycle
+			c.quarters += hooks.Assoc(c.ID, c.PC, c.lastStoreAddr, tr.Recipe(c.ID, c.lastStoreReg)) * qPerCycle
 		}
 
 	case in.Op.IsBranch():

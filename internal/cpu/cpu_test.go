@@ -14,6 +14,7 @@ type testHooks struct {
 	firstStores []int64
 	olds        []int64
 	assocs      []int64
+	assocPCs    []int
 	stall       int64
 }
 
@@ -23,8 +24,9 @@ func (h *testHooks) FirstStore(core int, addr, old int64) int64 {
 	return h.stall
 }
 
-func (h *testHooks) Assoc(core int, addr int64, recipe slice.Ref) int64 {
+func (h *testHooks) Assoc(core, pc int, addr int64, recipe slice.Ref) int64 {
 	h.assocs = append(h.assocs, addr)
+	h.assocPCs = append(h.assocPCs, pc)
 	return 0
 }
 
@@ -164,9 +166,13 @@ func TestAssocHookCarriesRecipe(t *testing.T) {
 	b.Halt()
 	h := &testHooks{}
 	tr := slice.NewTracker(1)
-	_, m, _ := run(t, b.MustBuild(), h, tr)
+	p := b.MustBuild()
+	_, m, _ := run(t, p, h, tr)
 	if len(h.assocs) != 1 || h.assocs[0] != base {
 		t.Fatalf("assocs = %v, want [%d]", h.assocs, base)
+	}
+	if pc := h.assocPCs[0]; p.Code[pc].Op != isa.ASSOCADDR {
+		t.Errorf("Assoc carried pc %d (%v), want the ASSOC-ADDR's own PC", pc, p.Code[pc].Op)
 	}
 	if m.ReadWord(base) != 42 {
 		t.Errorf("stored value = %d", m.ReadWord(base))
@@ -184,7 +190,7 @@ func TestRecipeOfStoredValueEvaluable(t *testing.T) {
 	b.Halt()
 	tr := slice.NewTracker(1)
 	var got int64
-	hk := hookFunc(func(core int, addr int64, recipe slice.Ref) int64 {
+	hk := hookFunc(func(core, pc int, addr int64, recipe slice.Ref) int64 {
 		c, ok := tr.Compile(core, recipe, 64)
 		if !ok {
 			panic("recipe must compile")
@@ -198,10 +204,10 @@ func TestRecipeOfStoredValueEvaluable(t *testing.T) {
 	}
 }
 
-type hookFunc func(core int, addr int64, recipe slice.Ref) int64
+type hookFunc func(core, pc int, addr int64, recipe slice.Ref) int64
 
-func (f hookFunc) FirstStore(core int, addr, old int64) int64    { return 0 }
-func (f hookFunc) Assoc(core int, addr int64, r slice.Ref) int64 { return f(core, addr, r) }
+func (f hookFunc) FirstStore(core int, addr, old int64) int64        { return 0 }
+func (f hookFunc) Assoc(core, pc int, addr int64, r slice.Ref) int64 { return f(core, pc, addr, r) }
 
 func TestBarrierAndHaltStates(t *testing.T) {
 	b := prog.New("states")

@@ -70,7 +70,7 @@ func (s *SpecState) SavedInstrs() int64 { return s.instrs }
 // started — the first component of the engine's deterministic merge key.
 type SpecHooks interface {
 	SpecFirstStore(core int, cycle int64, addr, old int64) int64
-	SpecAssoc(core int, cycle int64, addr int64, recipe slice.Ref) int64
+	SpecAssoc(core int, cycle int64, pc int, addr int64, recipe slice.Ref) int64
 }
 
 // SpecStep executes one instruction speculatively: identical to Step in
@@ -144,7 +144,7 @@ func (c *Core) SpecStep(p *prog.Program, sv *mem.SpecView, tr *slice.Tracker, ho
 		c.quarters++
 		if hooks != nil && tr != nil {
 			sv.NoteAssoc(c.lastStoreAddr)
-			c.quarters += hooks.SpecAssoc(c.ID, start, c.lastStoreAddr, tr.Recipe(c.ID, c.lastStoreReg)) * qPerCycle
+			c.quarters += hooks.SpecAssoc(c.ID, start, c.PC, c.lastStoreAddr, tr.Recipe(c.ID, c.lastStoreReg)) * qPerCycle
 		}
 
 	case in.Op.IsBranch():

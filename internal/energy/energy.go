@@ -26,6 +26,8 @@ const (
 	HandlerOp                // ACR checkpoint/recovery handler operation
 	RegCkpt                  // checkpointing one register
 	BarrierSync              // one core participating in a barrier
+	NVMRead                  // one word read from the fast checkpoint tier
+	NVMWrite                 // one word written to the fast checkpoint tier
 	numEvents
 )
 
@@ -35,6 +37,7 @@ var eventNames = [...]string{
 	DRAMRead: "DRAMRead", DRAMWrite: "DRAMWrite",
 	AddrMapOp: "AddrMapOp", SliceBufOp: "SliceBufOp", HandlerOp: "HandlerOp",
 	RegCkpt: "RegCkpt", BarrierSync: "BarrierSync",
+	NVMRead: "NVMRead", NVMWrite: "NVMWrite",
 }
 
 func (e Event) String() string {
@@ -72,6 +75,11 @@ func Default22nm() *Model {
 	m.PerEvent[HandlerOp] = 10 // modelled after a cache-controller op
 	m.PerEvent[RegCkpt] = 2
 	m.PerEvent[BarrierSync] = 50
+	// Fast checkpoint tier: an on-package NVM-like log store (STT-MRAM
+	// class). Accesses stay off the DRAM channel, so a word costs a
+	// fraction of a DRAM move; writes are the expensive direction.
+	m.PerEvent[NVMRead] = 100
+	m.PerEvent[NVMWrite] = 200
 	return m
 }
 

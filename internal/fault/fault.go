@@ -64,15 +64,22 @@ func (s *Schedule) Remaining() int {
 	return len(s.Times) - s.next
 }
 
-// Validate checks the invariant the recovery scheme relies on: the
-// detection latency must not exceed the checkpoint period (§II-A).
-func (s *Schedule) Validate(periodCycles int64) error {
+// Validate checks the invariant the recovery scheme relies on (§II-A,
+// Fig. 2): with `retained` checkpoints kept, the oldest safe roll-back
+// target is retained-1 periods in the past, so the detection latency must
+// not exceed (retained-1) checkpoint periods. The paper's scheme retains
+// two checkpoints (latency ≤ one period); deeper-retention strategies
+// (tiered) relax the bound proportionally.
+func (s *Schedule) Validate(periodCycles int64, retained int) error {
 	if s == nil {
 		return nil
 	}
-	if s.DetectLatency > periodCycles {
-		return fmt.Errorf("fault: detection latency %d exceeds checkpoint period %d; two retained checkpoints would not suffice",
-			s.DetectLatency, periodCycles)
+	if retained < 2 {
+		return fmt.Errorf("fault: retention %d cannot recover (need ≥ 2 checkpoints)", retained)
+	}
+	if bound := int64(retained-1) * periodCycles; s.DetectLatency > bound {
+		return fmt.Errorf("fault: detection latency %d exceeds %d retained period(s) (%d cycles); the safe checkpoint could age out",
+			s.DetectLatency, retained-1, bound)
 	}
 	for i := 1; i < len(s.Times); i++ {
 		if s.Times[i] < s.Times[i-1] {

@@ -56,18 +56,32 @@ func TestNilScheduleSafe(t *testing.T) {
 	if s.Remaining() != 0 {
 		t.Error("nil schedule remaining")
 	}
-	if err := s.Validate(100); err != nil {
+	if err := s.Validate(100, 2); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestValidateDetectionLatencyBound(t *testing.T) {
 	s := Uniform(1, 1000, 500)
-	if err := s.Validate(400); err == nil {
+	if err := s.Validate(400, 2); err == nil {
 		t.Error("latency > period must fail validation")
 	}
-	if err := s.Validate(600); err != nil {
+	if err := s.Validate(600, 2); err != nil {
 		t.Errorf("latency < period must validate: %v", err)
+	}
+}
+
+func TestValidateRetentionScalesLatencyBound(t *testing.T) {
+	// With 4 retained checkpoints the tolerable latency is 3 periods.
+	s := Uniform(1, 1000, 1100)
+	if err := s.Validate(400, 2); err == nil {
+		t.Error("latency > period must fail at retention 2")
+	}
+	if err := s.Validate(400, 4); err != nil {
+		t.Errorf("retention 4 tolerates latency < 3 periods: %v", err)
+	}
+	if err := s.Validate(300, 1); err == nil {
+		t.Error("retention < 2 must fail validation")
 	}
 }
 

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"acr/internal/energy"
 )
@@ -352,6 +353,52 @@ func (s *System) FlushDirty(groupMask uint64) int {
 	s.stats.FlushedLines += int64(total)
 	s.meter.Add(energy.DRAMWrite, uint64(total*s.cfg.LineWords))
 	return total
+}
+
+// AppendDirtyWords appends to buf the addresses of every word whose log
+// bit is set — the words updated since the interval's log bits were last
+// cleared — and returns the extended slice. The scan is pure observation:
+// no timing, energy or log-bit effect. The differential checkpoint
+// strategy uses the log-bit array as its epoch dirty bitmap, scanning it
+// at establishment (before NewInterval clears it) to capture the epoch's
+// delta.
+func (s *System) AppendDirtyWords(buf []int64) []int64 {
+	for w, mask := range s.logBits {
+		for mask != 0 {
+			buf = append(buf, int64(w*64)+int64(bits.TrailingZeros64(mask)))
+			mask &= mask - 1
+		}
+	}
+	return buf
+}
+
+// SnapshotWords copies the functional memory image into buf (grown as
+// needed) and returns it. Pure observation, used by checkpoint strategies
+// that retain full images.
+func (s *System) SnapshotWords(buf []int64) []int64 {
+	if cap(buf) < len(s.dram) {
+		buf = make([]int64, len(s.dram))
+	}
+	buf = buf[:len(s.dram)]
+	copy(buf, s.dram)
+	return buf
+}
+
+// fastTierSpeedup is the bandwidth advantage of the fast (NVM-like)
+// checkpoint tier over the DRAM channel: the log store sits on-package,
+// off the shared memory controllers.
+const fastTierSpeedup = 4
+
+// FastTransferCycles returns the time, in cycles, to move the given number
+// of words through the fast checkpoint tier (tiered strategies' log
+// traffic). The tier shares the controller fan-out but sustains
+// fastTierSpeedup times the per-controller bandwidth.
+func (s *System) FastTransferCycles(words int) int64 {
+	if words <= 0 {
+		return 0
+	}
+	perCtrl := float64(words) / float64(s.Controllers())
+	return int64(perCtrl/(s.cfg.WordsPerCycle*fastTierSpeedup)) + 1
 }
 
 // Controllers returns the number of memory controllers.

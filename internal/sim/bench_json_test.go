@@ -8,16 +8,22 @@ import (
 	"runtime"
 	"testing"
 
+	"acr/internal/ckpt"
+	acr "acr/internal/core"
 	"acr/internal/prog"
 )
 
 // benchPoint is one benchmark configuration's measured numbers as exported
-// to BENCH_5.json.
+// to BENCH_6.json.
 type benchPoint struct {
-	Name        string  `json:"name"`
-	Cores       int     `json:"cores"`
-	Ckpt        bool    `json:"ckpt"`
-	Workers     int     `json:"workers"`
+	Name    string `json:"name"`
+	Cores   int    `json:"cores"`
+	Ckpt    bool   `json:"ckpt"`
+	Workers int    `json:"workers"`
+	// Strategy is the checkpoint scheme ("" for uncheckpointed rows; the
+	// pre-strategy-engine baseline rows carry "amnesic", which is what
+	// ckpt=true meant before the engine existed).
+	Strategy    string  `json:"strategy,omitempty"`
 	N           int     `json:"n"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -30,44 +36,93 @@ type benchPoint struct {
 	AllocsPerKInstr float64 `json:"allocs_per_kinstr"`
 }
 
-// benchBaseline carries the BENCH_4.json results (commit cc3d7e4,
-// go test -bench=MachineRun -benchtime=20x, serial engine) forward as this
-// PR's reference point. The 32-core ACR row is both the denominator of the
-// parallel speedup and the no-regression anchor for workers=1.
+// benchBaseline carries the BENCH_5.json results (commit d3df3a5,
+// go test -bench=MachineRun -benchtime=20x, 1 host CPU) forward as this
+// PR's reference point. ckpt=true rows ran amnesic ACR — the only
+// checkpointed configuration before the strategy engine — so they anchor
+// the strategy=amnesic rows: the engine refactor must not slow the path it
+// re-expressed.
 var benchBaseline = []benchPoint{
-	{Name: "cores=8/ckpt=false", Cores: 8, Workers: 1, N: 20, NsPerOp: 1_842_408, AllocsPerOp: 79, BytesPerOp: 1_719_872, SimMIPS: 40.05, Instrs: 73_784, AllocsPerKInstr: 1.071},
-	{Name: "cores=8/ckpt=true", Cores: 8, Ckpt: true, Workers: 1, N: 20, NsPerOp: 12_843_931, AllocsPerOp: 2_743, BytesPerOp: 11_043_624, SimMIPS: 6.343, Instrs: 81_464, AllocsPerKInstr: 33.67},
-	{Name: "cores=16/ckpt=false", Cores: 16, Workers: 1, N: 20, NsPerOp: 5_369_739, AllocsPerOp: 143, BytesPerOp: 3_438_496, SimMIPS: 27.48, Instrs: 147_568, AllocsPerKInstr: 0.969},
-	{Name: "cores=16/ckpt=true", Cores: 16, Ckpt: true, Workers: 1, N: 20, NsPerOp: 27_805_315, AllocsPerOp: 4_981, BytesPerOp: 18_009_729, SimMIPS: 5.860, Instrs: 162_928, AllocsPerKInstr: 30.57},
-	{Name: "cores=32/ckpt=false", Cores: 32, Workers: 1, N: 20, NsPerOp: 15_460_923, AllocsPerOp: 271, BytesPerOp: 6_875_744, SimMIPS: 19.09, Instrs: 295_136, AllocsPerKInstr: 0.918},
-	{Name: "cores=32/ckpt=true", Cores: 32, Ckpt: true, Workers: 1, N: 20, NsPerOp: 56_706_588, AllocsPerOp: 10_107, BytesPerOp: 22_515_270, SimMIPS: 5.746, Instrs: 325_856, AllocsPerKInstr: 31.02},
+	{Name: "cores=8/ckpt=false/workers=1", Cores: 8, Workers: 1, N: 20, NsPerOp: 1_872_809, AllocsPerOp: 79, BytesPerOp: 1_721_792, SimMIPS: 39.40, Instrs: 73_784, AllocsPerKInstr: 1.071},
+	{Name: "cores=8/ckpt=false/workers=4", Cores: 8, Workers: 4, N: 20, NsPerOp: 2_210_576, AllocsPerOp: 556, BytesPerOp: 1_983_118, SimMIPS: 33.38, Instrs: 73_784, AllocsPerKInstr: 7.536},
+	{Name: "cores=8/ckpt=true/workers=1", Cores: 8, Ckpt: true, Workers: 1, Strategy: "amnesic", N: 20, NsPerOp: 10_662_276, AllocsPerOp: 2_771, BytesPerOp: 7_811_879, SimMIPS: 7.640, Instrs: 81_464, AllocsPerKInstr: 34.02},
+	{Name: "cores=8/ckpt=true/workers=4", Cores: 8, Ckpt: true, Workers: 4, Strategy: "amnesic", N: 20, NsPerOp: 17_122_798, AllocsPerOp: 3_449, BytesPerOp: 8_260_127, SimMIPS: 4.758, Instrs: 81_464, AllocsPerKInstr: 42.34},
+	{Name: "cores=16/ckpt=false/workers=1", Cores: 16, Workers: 1, N: 20, NsPerOp: 5_203_523, AllocsPerOp: 143, BytesPerOp: 3_442_208, SimMIPS: 28.36, Instrs: 147_568, AllocsPerKInstr: 0.969},
+	{Name: "cores=16/ckpt=false/workers=4", Cores: 16, Workers: 4, N: 20, NsPerOp: 3_450_251, AllocsPerOp: 1_072, BytesPerOp: 3_951_592, SimMIPS: 42.77, Instrs: 147_568, AllocsPerKInstr: 7.264},
+	{Name: "cores=16/ckpt=true/workers=1", Cores: 16, Ckpt: true, Workers: 1, Strategy: "amnesic", N: 20, NsPerOp: 25_740_346, AllocsPerOp: 5_168, BytesPerOp: 13_356_040, SimMIPS: 6.330, Instrs: 162_928, AllocsPerKInstr: 31.72},
+	{Name: "cores=16/ckpt=true/workers=4", Cores: 16, Ckpt: true, Workers: 4, Strategy: "amnesic", N: 20, NsPerOp: 34_396_882, AllocsPerOp: 6_364, BytesPerOp: 17_054_072, SimMIPS: 4.737, Instrs: 162_928, AllocsPerKInstr: 39.06},
+	{Name: "cores=32/ckpt=false/workers=1", Cores: 32, Workers: 1, N: 20, NsPerOp: 15_351_035, AllocsPerOp: 271, BytesPerOp: 6_883_040, SimMIPS: 19.23, Instrs: 295_136, AllocsPerKInstr: 0.918},
+	{Name: "cores=32/ckpt=false/workers=4", Cores: 32, Workers: 4, N: 20, NsPerOp: 6_843_259, AllocsPerOp: 2_112, BytesPerOp: 7_892_168, SimMIPS: 43.13, Instrs: 295_136, AllocsPerKInstr: 7.156},
+	{Name: "cores=32/ckpt=true/workers=1", Cores: 32, Ckpt: true, Workers: 1, Strategy: "amnesic", N: 20, NsPerOp: 59_164_866, AllocsPerOp: 10_502, BytesPerOp: 18_881_735, SimMIPS: 5.508, Instrs: 325_856, AllocsPerKInstr: 32.23},
+	{Name: "cores=32/ckpt=true/workers=4", Cores: 32, Ckpt: true, Workers: 4, Strategy: "amnesic", N: 20, NsPerOp: 74_190_619, AllocsPerOp: 12_708, BytesPerOp: 23_992_904, SimMIPS: 4.392, Instrs: 325_856, AllocsPerKInstr: 39.00},
 }
 
-// benchFile is the BENCH_5.json document.
+// benchFile is the BENCH_6.json document.
 type benchFile struct {
 	Issue       int    `json:"issue"`
 	Description string `json:"description"`
 	GoVersion   string `json:"go_version"`
-	// HostCPUs is GOMAXPROCS on the measuring machine. The parallel
-	// speedup below is only meaningful when it exceeds 1; on a single-CPU
-	// host the workers>1 rows measure engine overhead, not speedup.
+	// HostCPUs is GOMAXPROCS on the measuring machine. The workers>1 rows
+	// only measure speedup when it exceeds 1; on a single-CPU host they
+	// measure the parallel engine's coordination overhead.
 	HostCPUs int          `json:"host_cpus"`
 	Baseline []benchPoint `json:"baseline_pre_pr"`
 	Results  []benchPoint `json:"results"`
-	// Speedup32CoreACRParallel is workers=1 / workers=max ns_per_op for
-	// the 32-core ACR configuration, the acceptance-criterion ratio.
-	Speedup32CoreACRParallel float64 `json:"speedup_32core_acr_workers"`
-	// Serial32CoreACRVsPR4 is BENCH_4 / workers=1 ns_per_op for the same
-	// configuration — the no-regression check on the serial path (≥ ~1).
-	Serial32CoreACRVsPR4 float64 `json:"speedup_32core_acr_serial_vs_pr4"`
+	// Serial32AmnesicVsPR5 is BENCH_5 / workers=1 ns_per_op for the
+	// 32-core amnesic configuration — the no-regression check on the
+	// strategy-engine refactor (≥ ~1 means the seam cost nothing).
+	Serial32AmnesicVsPR5 float64 `json:"speedup_32core_amnesic_serial_vs_pr5"`
+	// Speedup32AmnesicParallel is workers=1 / workers=max ns_per_op for
+	// the same configuration, carried over from BENCH_5's criterion.
+	Speedup32AmnesicParallel float64 `json:"speedup_32core_amnesic_workers"`
 }
 
-// measurePoint runs one configuration under testing.Benchmark.
-func measurePoint(t *testing.T, cores, iters, workers int, ckpt bool, name string) benchPoint {
-	cfg, p := benchSetup(t, cores, iters, ckpt)
+// benchStrategySetup builds the configuration for one (cores, strategy)
+// point: the synthetic kernel plus a checkpoint period calibrated once so
+// every measured run establishes ~12 checkpoints. kind < 0 means no
+// checkpointing.
+func benchStrategySetup(tb testing.TB, cores, iters int, kind ckpt.Kind) (Config, *prog.Program) {
+	tb.Helper()
+	p := testKernel(cores, 48, iters)
+	cfg := DefaultConfig(cores)
+	if kind >= 0 {
+		m, err := New(cfg, p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ref, err := m.Run()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cfg.Checkpointing = true
+		cfg.Strategy = kind
+		cfg.PeriodCycles = ref.Cycles / 13
+		if kind.Amnesic() {
+			cfg.ACR = acr.Config{Threshold: 10, MapCapacity: 4096 * cores}
+		}
+	}
+	return cfg, p
+}
+
+// benchSetup keeps the pre-strategy (cores, ckpt bool) spelling used by the
+// alloc-budget test and BenchmarkMachineRun: ckpt=true is amnesic ACR.
+func benchSetup(tb testing.TB, cores, iters int, ck bool) (Config, *prog.Program) {
+	tb.Helper()
+	kind := ckpt.Kind(-1)
+	if ck {
+		kind = ckpt.KindAmnesic
+	}
+	return benchStrategySetup(tb, cores, iters, kind)
+}
+
+func measureStrategyPoint(t *testing.T, cores, iters, workers int, kind ckpt.Kind, name string) benchPoint {
+	cfg, p := benchStrategySetup(t, cores, iters, kind)
 	cfg.Workers = workers
-	pt := measureCfg(t, cfg, p, name, cores, ckpt)
+	pt := measureCfg(t, cfg, p, name, cores, kind >= 0)
 	pt.Workers = workers
+	if kind >= 0 {
+		pt.Strategy = kind.String()
+	}
 	return pt
 }
 
@@ -99,40 +154,44 @@ func measureCfg(t *testing.T, cfg Config, p *prog.Program, name string, cores in
 	return pt
 }
 
-// TestEmitBenchJSON regenerates BENCH_5.json. It is gated behind
-// ACR_BENCH_JSON (the output path, or "1" for the repo-root default) so
-// plain `go test ./...` stays fast; CI runs it with -benchtime=1x as a
+// TestEmitBenchJSON regenerates BENCH_6.json: the checkpoint-strategy ×
+// core-count matrix, serial and through the parallel engine. It is gated
+// behind ACR_BENCH_JSON (the output path, or "1" for the repo-root default)
+// so plain `go test ./...` stays fast; CI runs it with -benchtime=1x as a
 // smoke check and uploads the artifact, and maintainers refresh the
-// committed file with a real benchtime on a multi-core host (the parallel
-// speedup requires host_cpus > 1):
+// committed file with a real benchtime:
 //
-//	ACR_BENCH_JSON=1 go test ./internal/sim -run TestEmitBenchJSON -benchtime=20x -timeout 30m
+//	ACR_BENCH_JSON=1 go test ./internal/sim -run TestEmitBenchJSON -benchtime=10x -timeout 30m
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("ACR_BENCH_JSON")
 	if path == "" {
 		t.Skip("set ACR_BENCH_JSON to emit the benchmark JSON")
 	}
 	if path == "1" {
-		path = "../../BENCH_5.json"
+		path = "../../BENCH_6.json"
 	}
 
 	doc := benchFile{
-		Issue:       5,
-		Description: "Deterministic intra-run parallelism: conflict-checked speculative rounds dispatch independent core quanta to a worker pool, commit in serial merge order, and fall back to serial replay on conflict — bit-identical to workers=1. ns_per_op is one full simulated run of the synthetic NAS-shaped kernel (10 iterations, 48 words/thread); ckpt=true runs amnesic ACR with ~12 checkpoints per run. Baseline is BENCH_4 (serial engine).",
+		Issue:       6,
+		Description: "Pluggable checkpoint-strategy engine: full, amnesic, differential, tiered and auto strategies behind one ckpt.Strategy seam, measured on the synthetic NAS-shaped kernel (10 iterations, 48 words/thread, ~12 checkpoints per run) at two machine scales, serial (workers=1) and through the deterministic parallel engine (workers=N). strategy=\"\" rows are the NoCkpt reference. Baseline is BENCH_5 (pre-strategy engine; its ckpt=true rows are amnesic).",
 		GoVersion:   runtime.Version(),
 		HostCPUs:    runtime.GOMAXPROCS(0),
 		Baseline:    benchBaseline,
 	}
+	dims := append([]ckpt.Kind{-1}, ckpt.Kinds()...)
 	var serial32, parallel32 int64
-	workersDim := benchWorkersDim()
-	for _, cores := range []int{8, 16, 32} {
-		for _, ckpt := range []bool{false, true} {
-			for _, w := range workersDim {
-				name := fmt.Sprintf("cores=%d/ckpt=%v/workers=%d", cores, ckpt, w)
-				pt := measurePoint(t, cores, 10, w, ckpt, name)
+	for _, cores := range []int{8, 32} {
+		for _, kind := range dims {
+			label := "none"
+			if kind >= 0 {
+				label = kind.String()
+			}
+			for _, w := range benchWorkersDim() {
+				name := fmt.Sprintf("cores=%d/strategy=%s/workers=%d", cores, label, w)
+				pt := measureStrategyPoint(t, cores, 10, w, kind, name)
 				doc.Results = append(doc.Results, pt)
 				t.Logf("%s: %d ns/op, %d allocs/op, %.3f sim-MIPS", name, pt.NsPerOp, pt.AllocsPerOp, pt.SimMIPS)
-				if cores == 32 && ckpt {
+				if cores == 32 && kind == ckpt.KindAmnesic {
 					if w == 1 {
 						serial32 = pt.NsPerOp
 					} else {
@@ -143,10 +202,11 @@ func TestEmitBenchJSON(t *testing.T) {
 		}
 	}
 	if serial32 > 0 && parallel32 > 0 {
-		doc.Speedup32CoreACRParallel = float64(serial32) / float64(parallel32)
+		doc.Speedup32AmnesicParallel = float64(serial32) / float64(parallel32)
 	}
 	if serial32 > 0 {
-		doc.Serial32CoreACRVsPR4 = float64(benchBaseline[5].NsPerOp) / float64(serial32)
+		// benchBaseline row "cores=32/ckpt=true/workers=1".
+		doc.Serial32AmnesicVsPR5 = float64(benchBaseline[10].NsPerOp) / float64(serial32)
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")
@@ -157,8 +217,8 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s (32-core ACR: parallel speedup %.2fx at %d host CPUs, serial vs BENCH_4 %.2fx)",
-		path, doc.Speedup32CoreACRParallel, doc.HostCPUs, doc.Serial32CoreACRVsPR4)
+	t.Logf("wrote %s (32-core amnesic: serial vs BENCH_5 %.2fx, parallel %.2fx at %d host CPUs)",
+		path, doc.Serial32AmnesicVsPR5, doc.Speedup32AmnesicParallel, doc.HostCPUs)
 }
 
 // TestBenchAllocBudget is the allocation ceiling on the per-instruction

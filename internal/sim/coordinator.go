@@ -114,10 +114,11 @@ func (co *ckptCoordinator) establish() {
 	m := co.m
 	// Establishment start: the latest point any live core has reached.
 	tMax := m.sched.liveMax(0)
-	// The closing interval's volume, captured before Establish seals it:
-	// the per-checkpoint log traffic the event stream reports.
-	ivl := m.mgr.OpenInterval()
 	info := m.mgr.Establish(tMax, m.archStates())
+	// The closed interval's volume: the per-checkpoint traffic the event
+	// stream reports (reported by Establish because some strategies —
+	// differential — only learn it while sealing).
+	ivl := info.ClosedInterval
 
 	maxRelease := tMax
 	for _, g := range info.Groups {
@@ -130,7 +131,8 @@ func (co *ckptCoordinator) establish() {
 			}
 		}
 		stall := barrierCycles(g.Cores) + handlerCycles +
-			m.sys.TransferCycles(g.FlushedWords+g.ArchWords+g.LogWords)
+			m.sys.TransferCycles(g.FlushedWords+g.ArchWords+g.LogWords) +
+			m.sys.FastTransferCycles(g.FastLogWords)
 		release := tg + stall
 		if release > maxRelease {
 			maxRelease = release

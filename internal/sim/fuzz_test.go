@@ -100,13 +100,16 @@ func TestFuzzRecoveryInvisible(t *testing.T) {
 		errs := rng.Intn(3)
 
 		for _, mode := range []ckpt.Mode{ckpt.Global, ckpt.Local} {
-			for _, amnesic := range []bool{false, true} {
+			for _, kind := range ckpt.Kinds() {
+				if kind.GlobalOnly() && mode == ckpt.Local {
+					continue
+				}
 				cfg := DefaultConfig(threads)
 				cfg.Checkpointing = true
 				cfg.Mode = mode
 				cfg.PeriodCycles = period
-				cfg.Amnesic = amnesic
-				if amnesic {
+				cfg.Strategy = kind
+				if kind.Amnesic() {
 					cfg.ACR = acr.Config{Threshold: 10, MapCapacity: 4096}
 					if rng.Intn(2) == 0 {
 						cfg.ACR.Policy = acr.PolicyCost
@@ -122,7 +125,7 @@ func TestFuzzRecoveryInvisible(t *testing.T) {
 				}
 				res, err := m.Run()
 				if err != nil {
-					t.Fatalf("trial %d mode=%v amnesic=%v: %v", trial, mode, amnesic, err)
+					t.Fatalf("trial %d mode=%v strategy=%v: %v", trial, mode, kind, err)
 				}
 				if errs > 0 && res.Ckpt.Recoveries == 0 {
 					// An error may land after completion for very
@@ -132,8 +135,8 @@ func TestFuzzRecoveryInvisible(t *testing.T) {
 				got := memWords(m, build().DataWords)
 				for i := range want {
 					if got[i] != want[i] {
-						t.Fatalf("trial %d mode=%v amnesic=%v errs=%d: memory differs at %d: %d vs %d",
-							trial, mode, amnesic, errs, i, got[i], want[i])
+						t.Fatalf("trial %d mode=%v strategy=%v errs=%d: memory differs at %d: %d vs %d",
+							trial, mode, kind, errs, i, got[i], want[i])
 					}
 				}
 			}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 
+	"acr/internal/analysis"
 	"acr/internal/ckpt"
 	acr "acr/internal/core"
 	"acr/internal/cpu"
@@ -50,6 +51,13 @@ type Config struct {
 	Mode          ckpt.Mode
 	Amnesic       bool
 	ACR           acr.Config
+	// Strategy selects the checkpoint scheme (see ckpt.Kinds). The zero
+	// value is the conventional full-logging baseline; setting Amnesic
+	// with the zero Strategy resolves to ckpt.KindAmnesic (the legacy
+	// spelling), and an explicitly amnesic strategy (amnesic, auto)
+	// implies Amnesic. Differential and tiered require Global mode and
+	// reject Amnesic.
+	Strategy ckpt.Kind
 
 	// PeriodCycles is the checkpoint period; MaxCheckpoints caps how many
 	// checkpoints are established (the paper fixes the count per run and
@@ -121,6 +129,9 @@ type Result struct {
 	// Barriers counts barrier episodes.
 	Barriers int64
 
+	// Strategy names the checkpoint strategy of the run ("" when
+	// checkpointing is disabled).
+	Strategy string
 	// Ckpt carries checkpointing statistics (zero value when disabled).
 	Ckpt ckpt.Stats
 	// Intervals is the per-interval checkpoint volume history.
@@ -254,11 +265,24 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 	if cfg.Checkpointing && cfg.MaxCheckpoints == 0 {
 		cfg.MaxCheckpoints = 1 << 62 // unlimited
 	}
+	// Resolve the strategy dimension: the legacy Amnesic flag spells
+	// ckpt.KindAmnesic; amnesic-family strategies imply the ACR machinery.
+	if cfg.Strategy == ckpt.KindFull && cfg.Amnesic {
+		cfg.Strategy = ckpt.KindAmnesic
+	}
+	if cfg.Strategy.Amnesic() {
+		cfg.Amnesic = true
+	} else if cfg.Amnesic {
+		return nil, fmt.Errorf("sim: strategy %v does not compose with Amnesic (it has no log to omit from)", cfg.Strategy)
+	}
+	if cfg.Strategy != ckpt.KindFull && !cfg.Checkpointing {
+		return nil, fmt.Errorf("sim: strategy %v requires checkpointing", cfg.Strategy)
+	}
 	if cfg.Errors != nil && !cfg.Checkpointing {
 		return nil, errors.New("sim: error schedule without checkpointing cannot recover")
 	}
 	if cfg.Errors != nil {
-		if err := cfg.Errors.Validate(cfg.PeriodCycles); err != nil {
+		if err := cfg.Errors.Validate(cfg.PeriodCycles, cfg.Strategy.Retention()); err != nil {
 			return nil, err
 		}
 		// The schedule carries a consumption cursor; clone it so two
@@ -298,6 +322,16 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		if !cfg.Checkpointing {
 			return nil, errors.New("sim: amnesic mode requires checkpointing")
 		}
+		if cfg.Strategy == ckpt.KindAuto && cfg.ACR.SitePlan == nil {
+			// The auto strategy's static pass: classify every ASSOC site
+			// ahead of time from the program's dataflow.
+			plan, err := analysis.PlanCheckpointSites(p.Code, p.Entry, cfg.ACR.Threshold)
+			if err != nil {
+				return nil, fmt.Errorf("sim: auto strategy analysis: %w", err)
+			}
+			cfg.ACR.SitePlan = plan.SiteCaps
+			m.cfg.ACR.SitePlan = plan.SiteCaps
+		}
 		m.tracker = slice.NewTracker(cfg.Cores)
 		m.handler = acr.NewHandler(cfg.ACR, m.tracker, m.meter)
 		for _, c := range m.cores {
@@ -308,7 +342,11 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 	m.coord = noCheckpoints{}
 	m.recov = noErrors{}
 	if cfg.Checkpointing {
-		m.mgr = ckpt.NewManager(cfg.Mode, m.sys, m.meter, m.handler, m.archStates())
+		mgr, err := ckpt.NewManager(cfg.Strategy, cfg.Mode, m.sys, m.meter, m.handler, m.archStates())
+		if err != nil {
+			return nil, err
+		}
+		m.mgr = mgr
 		m.coord = newCkptCoordinator(m)
 	}
 	if cfg.Errors != nil {
@@ -346,12 +384,13 @@ func (m *Machine) FirstStore(core int, addr, old int64) int64 {
 	return m.mgr.OnFirstStore(core, addr, old)
 }
 
-// Assoc implements cpu.Hooks.
-func (m *Machine) Assoc(core int, addr int64, recipe slice.Ref) int64 {
+// Assoc implements cpu.Hooks. pc is the ASSOC-ADDR instruction's address,
+// keying the auto strategy's static site plan.
+func (m *Machine) Assoc(core, pc int, addr int64, recipe slice.Ref) int64 {
 	if m.handler == nil {
 		return 0
 	}
-	return m.handler.OnAssoc(core, addr, recipe)
+	return m.handler.OnAssoc(core, pc, addr, recipe)
 }
 
 // barrierCycles is the synchronisation cost of n cores coordinating.
@@ -475,6 +514,7 @@ func (m *Machine) result() Result {
 	r.EnergyEvents = m.meter.Counts()
 	r.Mem = m.sys.Stats()
 	if m.mgr != nil {
+		r.Strategy = m.mgr.Kind().String()
 		r.Ckpt = m.mgr.Stats()
 		r.Intervals = append(r.Intervals, m.mgr.Intervals()...)
 		r.PeriodCycles = m.cfg.PeriodCycles

@@ -5,35 +5,8 @@ import (
 	"runtime"
 	"testing"
 
-	acr "acr/internal/core"
 	"acr/internal/prog"
 )
-
-// benchSetup builds the benchmark configuration for one (cores, ckpt)
-// point: the synthetic kernel at the given iteration count plus, for the
-// ACR configurations, a checkpoint period calibrated once so every
-// measured run establishes ~12 checkpoints (tracker, AddrMap and log
-// paths all live).
-func benchSetup(tb testing.TB, cores, iters int, ckpt bool) (Config, *prog.Program) {
-	tb.Helper()
-	p := testKernel(cores, 48, iters)
-	cfg := DefaultConfig(cores)
-	if ckpt {
-		m, err := New(cfg, p)
-		if err != nil {
-			tb.Fatal(err)
-		}
-		ref, err := m.Run()
-		if err != nil {
-			tb.Fatal(err)
-		}
-		cfg.Checkpointing = true
-		cfg.Amnesic = true
-		cfg.ACR = acr.Config{Threshold: 10, MapCapacity: 4096 * cores}
-		cfg.PeriodCycles = ref.Cycles / 13
-	}
-	return cfg, p
-}
 
 // benchRun is the measured body shared by the benchmark and the JSON
 // emitter: b.N full simulations, reporting sim-MIPS and allocations.

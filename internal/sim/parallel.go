@@ -71,6 +71,7 @@ type hookEvent struct {
 	addr      int64
 	old       int64     // FirstStore: word value before the store
 	recipe    slice.Ref // Assoc: recipe of the paired store's value
+	pc        int32     // Assoc: the ASSOC-ADDR instruction's PC
 	predicted int64     // stall the speculative prediction charged
 	core      int32
 	kind      uint8
@@ -185,13 +186,13 @@ func (e *parallelEngine) SpecFirstStore(core int, cycle int64, addr, old int64) 
 // SpecAssoc implements cpu.SpecHooks. AddrMap insertion never stalls
 // (OnAssoc returns 0 whether the insertion is accepted or rejected), so the
 // prediction is trivial; the insertion itself is deferred to commit.
-func (e *parallelEngine) SpecAssoc(core int, cycle int64, addr int64, recipe slice.Ref) int64 {
+func (e *parallelEngine) SpecAssoc(core int, cycle int64, pc int, addr int64, recipe slice.Ref) int64 {
 	if e.m.handler == nil {
 		return 0
 	}
 	e.events[core] = append(e.events[core], hookEvent{
 		cycle: cycle, core: int32(core), kind: evAssoc,
-		addr: addr, recipe: recipe,
+		pc: int32(pc), addr: addr, recipe: recipe,
 	})
 	return 0
 }
@@ -295,7 +296,7 @@ func (e *parallelEngine) commit() error {
 		case evFirstStore:
 			stall = m.FirstStore(int(ev.core), ev.addr, ev.old)
 		case evAssoc:
-			stall = m.Assoc(int(ev.core), ev.addr, ev.recipe)
+			stall = m.Assoc(int(ev.core), int(ev.pc), ev.addr, ev.recipe)
 		}
 		if stall != ev.predicted {
 			return fmt.Errorf("sim: parallel hook replay diverged on core %d addr %d (predicted stall %d, replay %d); speculation is unsound for this run",

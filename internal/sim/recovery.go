@@ -82,6 +82,7 @@ func (re *recoveryEngine) recover(errOccur, errDetect int64) error {
 	}
 	stall := handlerCycles + barrierCycles(bits.OnesCount64(groupMask)) +
 		m.sys.TransferCycles(int(info.LogWordsRead+info.WordsRestored)) +
+		m.sys.FastTransferCycles(int(info.FastLogWordsRead)) +
 		maxRecompute
 	release := tDetect + stall
 

@@ -115,6 +115,13 @@ func (c *Collector) ObserveResult(res sim.Result) {
 	run("acr_run_roi_start_cycles", "Region-of-interest start.", float64(res.ROIStartCycles))
 	run("acr_run_timeline_dropped", "Events discarded by the timeline ring buffer.",
 		float64(res.TimelineDropped))
+	if res.Strategy != "" {
+		// Info-style gauge: constant 1, the label carries the resolved
+		// checkpoint strategy so dashboards can slice runs by scheme.
+		reg.Gauge("acr_run_strategy_info",
+			"Resolved checkpoint strategy of this run (label-only, value is 1).",
+			"strategy").With(res.Strategy).Set(1)
+	}
 
 	hits := reg.Counter("acr_cache_hits_total", "Cache hits per core and level.", "core", "level")
 	misses := reg.Counter("acr_cache_misses_total", "Cache misses per core and level.", "core", "level")
@@ -145,6 +152,13 @@ func (c *Collector) ObserveResult(res sim.Result) {
 	run("acr_ckpt_omitted_words", "ROI words amnesically omitted.", float64(ck.OmittedWords))
 	run("acr_ckpt_restored_words", "Words restored during roll-backs.", float64(ck.RestoredWords))
 	run("acr_ckpt_recomputed_words", "Amnesic subset of restored words.", float64(ck.RecomputedWords))
+	run("acr_ckpt_delta_words", "Dirty words sealed into differential checkpoints.", float64(ck.DeltaWords))
+	run("acr_ckpt_fast_log_words", "Words logged to the fast tier (tiered strategy).", float64(ck.FastLogWords))
+	run("acr_ckpt_demoted_words", "Fast-tier words demoted to DRAM.", float64(ck.DemotedWords))
+	run("acr_ckpt_multi_snapshot_rollbacks", "Recoveries that crossed more than one checkpoint.",
+		float64(ck.MultiSnapshotRollbacks))
+	run("acr_ckpt_max_rollback_depth", "Deepest rollback in retained checkpoints.",
+		float64(ck.MaxRollbackDepth))
 
 	replay := reg.Histogram("acr_recovery_replay_length_instructions",
 		"Slice replay length per recomputed value.", replayBuckets())
@@ -169,6 +183,10 @@ func (c *Collector) ObserveResult(res sim.Result) {
 	run("acr_addrmap_hits", "Lookups whose record recomputes the old value.", float64(am.Hits))
 	run("acr_addrmap_peak_occupancy", "Peak records held.", float64(am.PeakOccupancy))
 	run("acr_addrmap_peak_input_words", "Peak buffered input words.", float64(am.PeakInputWords))
+	run("acr_addrmap_pruned_assocs", "Associations skipped by the auto strategy's site plan.",
+		float64(am.PrunedAssocs))
+	run("acr_addrmap_boosted_assocs", "Associations compiled under a boosted site cap.",
+		float64(am.BoostedAssocs))
 
 	energy := reg.Counter("acr_energy_events_total",
 		"Chargeable architectural events by kind.", "event")

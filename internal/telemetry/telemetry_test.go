@@ -224,3 +224,39 @@ func TestProfileRoundTrip(t *testing.T) {
 		t.Error("accepted unknown family kind")
 	}
 }
+
+// TestObserveResultStrategyMetrics: ObserveResult labels the run with its
+// resolved checkpoint strategy and exports the strategy-specific traffic
+// counters, so exported profiles identify the scheme that produced them.
+func TestObserveResultStrategyMetrics(t *testing.T) {
+	reg := NewRegistry()
+	col := NewCollector(reg)
+	var res sim.Result
+	res.Strategy = "tiered"
+	res.Ckpt.FastLogWords = 128
+	res.Ckpt.DemotedWords = 64
+	res.Ckpt.MultiSnapshotRollbacks = 2
+	res.Ckpt.MaxRollbackDepth = 3
+	res.AddrMap.PrunedAssocs = 5
+	res.AddrMap.BoostedAssocs = 7
+	col.ObserveResult(res)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`acr_run_strategy_info{strategy="tiered"} 1`,
+		"acr_ckpt_fast_log_words 128",
+		"acr_ckpt_demoted_words 64",
+		"acr_ckpt_multi_snapshot_rollbacks 2",
+		"acr_ckpt_max_rollback_depth 3",
+		"acr_addrmap_pruned_assocs 5",
+		"acr_addrmap_boosted_assocs 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}
