@@ -4,12 +4,17 @@
 // stores, unreachable code, r0 writes, out-of-segment memory references,
 // fall-through termination and barrier-less infinite loops.
 //
+// With -auto, the auto checkpoint strategy's static site plan is surfaced
+// alongside the lint findings as info-level diagnostics: pruned and boosted
+// ASSOC-ADDR sites, and barriers that dominate no store. Info diagnostics
+// are advisory and never affect the exit status.
+//
 // Targets are benchmark names from the workloads registry; "all" (or the
 // conventional "./...") lints every registered kernel. The exit status is 1
-// if any diagnostic is produced, so acrlint works as a CI gate:
+// if any warning or error is produced, so acrlint works as a CI gate:
 //
 //	acrlint ./...
-//	acrlint -json -class W -threads 8 cg is
+//	acrlint -auto -json -class W -threads 8 cg is
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	className := flag.String("class", "S", "problem class to build kernels at (S, W or A)")
 	threads := flag.Int("threads", 4, "thread count to build kernels for")
+	auto := flag.Bool("auto", false, "surface the auto checkpoint strategy's site plan as info diagnostics")
+	threshold := flag.Int("threshold", 0, "dynamic slice-length threshold for -auto (0 = paper default)")
 	flag.Parse()
 
 	class, err := workloads.ClassByName(*className)
@@ -75,7 +82,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "acrlint: %s: %v\n", b.Name, err)
 			os.Exit(2)
 		}
-		total += len(diags)
+		if *auto {
+			planDiags, err := analysis.AutoPlanDiags(p.Code, p.Entry, *threshold)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acrlint: %s: %v\n", b.Name, err)
+				os.Exit(2)
+			}
+			diags = append(diags, planDiags...)
+		}
+		for _, d := range diags {
+			if d.Severity != analysis.SevInfo {
+				total++
+			}
+		}
 		reports = append(reports, report{
 			Target:  b.Name,
 			Threads: *threads,

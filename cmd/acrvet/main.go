@@ -1,0 +1,95 @@
+// Command acrvet is the repository's invariant multichecker: it loads the
+// module from source (standard library only — no go/packages) and runs the
+// internal/vet analyzer suite over it. CI runs it next to go vet as a hard
+// gate; any diagnostic is exit status 1.
+//
+// Usage:
+//
+//	acrvet [flags] [packages]
+//
+//	acrvet ./...                     check the whole module
+//	acrvet ./internal/sim            check one package
+//	acrvet -run noalloc,memokey ./...  run a subset of analyzers
+//	acrvet -json ./...               machine-readable diagnostics
+//	acrvet -list                     print the suite and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acr/internal/vet"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		dir     = flag.String("C", ".", "directory to resolve the module from")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range vet.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := vet.Analyzers()
+	if *run != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			a := vet.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "acrvet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := vet.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrvet:", err)
+		os.Exit(2)
+	}
+	loader, err := vet.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrvet:", err)
+		os.Exit(2)
+	}
+	prog, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrvet:", err)
+		os.Exit(2)
+	}
+
+	diags := vet.Run(prog, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "acrvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "acrvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"acr/internal/isa"
+)
+
+// AutoPlanDiags surfaces the auto checkpoint strategy's static site plan
+// (PlanCheckpointSites) as info-level lint diagnostics, so the decisions
+// the runtime will silently act on are reviewable next to the ordinary
+// lint findings: every pruned ASSOC-ADDR site (predicted-rejected compiles
+// dropped before the AddrMap), every boosted site (length cap raised for a
+// dead, replay-safe value), and every barrier that dominates no store —
+// a checkpoint boundary whose interval can never log or omit a value.
+//
+// All findings are SevInfo: the plan is a cost policy, never a soundness
+// question, so acrlint reports them without gating on them.
+func AutoPlanDiags(code []isa.Instr, entry, threshold int) ([]Diag, error) {
+	plan, err := PlanCheckpointSites(code, entry, threshold)
+	if err != nil {
+		return nil, err
+	}
+	g, err := BuildCFG(code, entry)
+	if err != nil {
+		return nil, err
+	}
+	reach := g.Reachable()
+	var diags []Diag
+	for pc, in := range code {
+		if in.Op != isa.ASSOCADDR {
+			continue
+		}
+		switch siteCap := plan.SiteCaps[pc]; {
+		case siteCap < 0:
+			diags = append(diags, Diag{
+				Pass: "auto-plan", PC: pc, Block: g.BlockOf(pc), Severity: SevInfo,
+				Msg: "assoc-addr site is pruned: every runtime compile here is predicted rejected work, so the association is dropped and the store logged conventionally",
+			})
+		case siteCap > 0:
+			diags = append(diags, Diag{
+				Pass: "auto-plan", PC: pc, Block: g.BlockOf(pc), Severity: SevInfo,
+				Msg: fmt.Sprintf("assoc-addr site is boosted: the stored value is dead after the store and its slice is proven replay-safe, so the site's length cap is raised to %d", siteCap),
+			})
+		}
+	}
+	diags = append(diags, lintBarrierNoStores(g, reach)...)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].PC < diags[j].PC })
+	return diags, nil
+}
+
+// lintBarrierNoStores flags reachable barriers that dominate no store.
+// Checkpoints are established at barrier boundaries, so a barrier no store
+// can follow opens an interval in which the logging machinery can never
+// fire: a synchronisation-only boundary, worth knowing about when reading
+// checkpoint-volume results. The check is block-precise: a store later in
+// the barrier's own straight-line block counts as dominated.
+func lintBarrierNoStores(g *CFG, reach []bool) []Diag {
+	dom := NewDominators(g)
+	var stores []int
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			if g.Code[pc].Op == isa.ST {
+				stores = append(stores, pc)
+			}
+		}
+	}
+	var diags []Diag
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			if g.Code[pc].Op != isa.BARRIER {
+				continue
+			}
+			dominated := false
+			for _, st := range stores {
+				if sb := g.BlockOf(st); sb == b.ID {
+					if st > pc {
+						dominated = true
+						break
+					}
+				} else if dom.Dominates(b.ID, sb) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				diags = append(diags, Diag{
+					Pass: "auto-plan", PC: pc, Block: b.ID, Severity: SevInfo,
+					Msg: "barrier dominates no store: the checkpoint interval it opens can never log or omit a value (synchronisation-only boundary)",
+				})
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"acr/internal/isa"
+)
+
+func TestAutoPlanDiagsSites(t *testing.T) {
+	code := autoKernel()
+	diags, err := AutoPlanDiags(code, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, boosted := 0, 0
+	for _, d := range diags {
+		if d.Pass != "auto-plan" {
+			t.Errorf("unexpected pass %q: %s", d.Pass, d)
+		}
+		if d.Severity != SevInfo {
+			t.Errorf("auto-plan diag is %v, want info: %s", d.Severity, d)
+		}
+		if code[d.PC].Op != isa.ASSOCADDR {
+			t.Errorf("diag anchored off-site at pc %d (%v)", d.PC, code[d.PC])
+		}
+		switch {
+		case strings.Contains(d.Msg, "pruned"):
+			pruned++
+		case strings.Contains(d.Msg, "boosted"):
+			boosted++
+		default:
+			t.Errorf("unclassifiable auto-plan diag: %s", d)
+		}
+	}
+	// autoKernel at threshold 3: one boosted site, two pruned sites, one
+	// defaulted site that must stay silent.
+	if pruned != 2 || boosted != 1 {
+		t.Errorf("got %d pruned + %d boosted diags, want 2 + 1:\n%v", pruned, boosted, diags)
+	}
+}
+
+func TestAutoPlanDiagsBarriers(t *testing.T) {
+	// The first barrier dominates the store below it (same straight-line
+	// block) and must stay silent; the final barrier dominates no store and
+	// is surfaced as a synchronisation-only boundary.
+	code := []isa.Instr{
+		{Op: isa.LI, Rd: 1, Imm: 8},
+		{Op: isa.BARRIER},
+		{Op: isa.ST, Rt: 1, Rs: 1, Imm: 0},
+		{Op: isa.BARRIER},
+		{Op: isa.HALT},
+	}
+	diags, err := AutoPlanDiags(code, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diags, want 1:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.PC != 3 || d.Severity != SevInfo || !strings.Contains(d.Msg, "barrier dominates no store") {
+		t.Errorf("unexpected barrier diag: %s", d)
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	for sev, want := range map[Severity]string{
+		SevWarn: "warning", SevError: "error", SevInfo: "info",
+	} {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", sev, got, want)
+		}
+	}
+}

@@ -9,19 +9,26 @@ import (
 )
 
 // Severity grades a lint diagnostic. The acrlint gate and the workload
-// guard test treat every diagnostic as a failure; the split exists so
-// reports can distinguish definite bugs from smells.
+// guard test treat warnings and errors as failures; the split exists so
+// reports can distinguish definite bugs from smells. Info diagnostics are
+// advisory surfacing of analysis decisions (the auto checkpoint site plan)
+// and never gate.
 type Severity uint8
 
-// Severities.
+// Severities. The wire values of SevWarn and SevError predate SevInfo and
+// are kept stable for JSON consumers.
 const (
 	SevWarn Severity = iota
 	SevError
+	SevInfo
 )
 
 func (s Severity) String() string {
-	if s == SevError {
+	switch s {
+	case SevError:
 		return "error"
+	case SevInfo:
+		return "info"
 	}
 	return "warning"
 }

@@ -66,18 +66,18 @@ func (r *Runner) RunAll(jobs []Job) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	reports := make([]JobReport, len(jobs))
-	start := time.Now()
+	start := time.Now() //acr:wallclock-ok queue-wait profiling only; never reaches results
 	defer func() { r.appendReports(reports) }()
 
 	runOne := func(i int) {
 		j := jobs[i]
-		t0 := time.Now()
+		t0 := time.Now() //acr:wallclock-ok per-job wall profiling only; never reaches results
 		shared := r.hasEntry(j.key())
 		results[i], errs[i] = r.Run(j.Bench, j.Params, j.Spec)
 		reports[i] = JobReport{
 			Job:       j,
 			QueueWait: t0.Sub(start),
-			Wall:      time.Since(t0),
+			Wall:      time.Since(t0), //acr:wallclock-ok per-job wall profiling only; never reaches results
 			Shared:    shared,
 		}
 	}

@@ -2,6 +2,8 @@
 // figure of the paper's evaluation (§IV–§V) from simulator runs. Each
 // experiment has a generator returning a stats.Table; cmd/acrbench and the
 // repository's bench_test.go drive them.
+//
+//acr:deterministic
 package bench
 
 import (
@@ -15,7 +17,12 @@ import (
 	"acr/internal/workloads"
 )
 
-// Spec names one of the paper's configurations (§IV).
+// Spec names one of the paper's configurations (§IV). Every field either
+// reaches the memoisation key (runKey embeds the normalised Spec) or is
+// folded into a keyed field by the canonicaliser — the memokey analyzer
+// proves it.
+//
+//acr:memo-spec normalized
 type Spec struct {
 	// Ckpt enables checkpointing; Errors injects that many fail-stop
 	// errors; Amnesic attaches ACR; Local selects coordinated local
@@ -131,6 +138,10 @@ func DefaultParams() Params {
 // DefaultNumCkpts is the paper's default checkpoint count per run.
 const DefaultNumCkpts = 25
 
+// runKey is the memoisation key: a pure value (the memokey analyzer proves
+// deep comparability), so semantically equal configurations hit one cell.
+//
+//acr:memo-key
 type runKey struct {
 	bench   string
 	threads int
@@ -143,8 +154,18 @@ type runKey struct {
 // for concurrent use — RunAll executes experiment grids through a worker
 // pool — and deduplicates in-flight work: concurrent requests for the same
 // key block on one execution instead of repeating it.
+//
+// Exported fields are driver knobs living outside the memo key; each must
+// carry //acr:memo-exempt with its result-invariance argument (the memokey
+// analyzer rejects undeclared knobs).
+//
+//acr:memo-cache
 type Runner struct {
-	// Workers bounds RunAll's worker pool; 0 means GOMAXPROCS.
+	// Workers bounds RunAll's worker pool; 0 means GOMAXPROCS. Results
+	// are bit-identical at any pool width — jobs are independent machines
+	// and results return in job order — so the knob stays outside the key.
+	//
+	//acr:memo-exempt
 	Workers int
 
 	// SimWorkers is the intra-run worker count handed to
@@ -153,6 +174,8 @@ type Runner struct {
 	// that fails its conflict check is discarded and replayed serially —
 	// so SimWorkers is deliberately not part of the memoisation key: a
 	// cache warmed at one worker count serves every other.
+	//
+	//acr:memo-exempt
 	SimWorkers int
 
 	mu      sync.Mutex

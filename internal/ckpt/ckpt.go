@@ -15,6 +15,8 @@
 // NVM-like log tier with demotion) and auto (amnesic plus a static
 // analysis site plan) all plug into one Manager that owns the ring, the
 // interval logs and the generic bookkeeping.
+//
+//acr:deterministic
 package ckpt
 
 import (
@@ -320,6 +322,8 @@ func (m *Manager) OnFirstStore(coreID int, addr, old int64) int64 {
 // stall before the real OnFirstStore replays at commit; the parallel
 // engine's conflict rules guarantee the prediction matches the replay for
 // committing rounds.
+//
+//acr:spec-safe
 func (m *Manager) PredictFirstStore(addr, old int64, scratch []int64) int64 {
 	return m.strat.Predict(m, addr, old, scratch)
 }

@@ -148,6 +148,8 @@ type Strategy interface {
 	OnFirstStore(m *Manager, coreID int, addr, old int64) int64
 	// Predict returns OnFirstStore's stall without side effects; scratch
 	// must be caller-private (the parallel engine predicts concurrently).
+	//
+	//acr:spec-safe
 	Predict(m *Manager, addr, old int64, scratch []int64) int64
 	// Seal runs at establishment, before the log ring rotates and before
 	// the interval's log bits clear: the strategy captures
@@ -217,6 +219,7 @@ func (s logStrategy) OnFirstStore(m *Manager, coreID int, addr, old int64) int64
 	return InlineLogStallCycles
 }
 
+//acr:spec-safe
 func (s logStrategy) Predict(m *Manager, addr, old int64, scratch []int64) int64 {
 	if m.acr != nil && m.acr.PeekOmittable(addr, old, scratch) {
 		return OmitStallCycles
@@ -264,6 +267,7 @@ func (t *tieredStrategy) OnFirstStore(m *Manager, coreID int, addr, old int64) i
 	return InlineLogStallCycles
 }
 
+//acr:spec-safe
 func (t *tieredStrategy) Predict(*Manager, int64, int64, []int64) int64 {
 	return InlineLogStallCycles
 }
@@ -334,6 +338,7 @@ func (d *diffStrategy) init(m *Manager) {
 
 func (d *diffStrategy) OnFirstStore(*Manager, int, int64, int64) int64 { return 0 }
 
+//acr:spec-safe
 func (d *diffStrategy) Predict(*Manager, int64, int64, []int64) int64 { return 0 }
 
 func (d *diffStrategy) Seal(m *Manager, _ int64) SealInfo {

@@ -146,6 +146,8 @@ func (h *Handler) Omittable(addr, old int64) *Record {
 // later real Omittable call exactly as long as no AddrMap event touching
 // addr intervenes — the condition the parallel engine's conflict rules
 // guarantee for committing rounds.
+//
+//acr:spec-safe
 func (h *Handler) PeekOmittable(addr, old int64, scratch []int64) bool {
 	return h.addrMap.Peek(addr, old, scratch)
 }

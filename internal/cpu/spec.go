@@ -28,6 +28,8 @@ type SpecState struct {
 }
 
 // SaveSpec snapshots the core into s.
+//
+//acr:spec-safe
 func (c *Core) SaveSpec(s *SpecState) {
 	s.regs = c.Regs
 	s.pc = c.PC
@@ -43,6 +45,8 @@ func (c *Core) SaveSpec(s *SpecState) {
 // directly, not through SetState: speculative execution fired no OnState
 // notification (SpecStep changes State silently), so reverting it silently
 // keeps observers exactly balanced.
+//
+//acr:spec-safe
 func (c *Core) RestoreSpec(s *SpecState) {
 	c.Regs = s.regs
 	c.PC = s.pc
@@ -68,6 +72,8 @@ func (s *SpecState) SavedInstrs() int64 { return s.instrs }
 // replay through the real Hooks at commit, in the serial merge order.
 // cycle is the core-local cycle at which the instruction issuing the event
 // started — the first component of the engine's deterministic merge key.
+//
+//acr:spec-safe
 type SpecHooks interface {
 	SpecFirstStore(core int, cycle int64, addr, old int64) int64
 	SpecAssoc(core int, cycle int64, pc int, addr int64, recipe slice.Ref) int64
@@ -85,6 +91,9 @@ type SpecHooks interface {
 // the core-private SpecView and tracker shard, and frozen shared state;
 // that confinement is the data-race-freedom argument for the parallel
 // engine.
+//
+//acr:spec-safe
+//acr:noalloc
 func (c *Core) SpecStep(p *prog.Program, sv *mem.SpecView, tr *slice.Tracker, hooks SpecHooks) {
 	if c.State != Running {
 		panic(fmt.Sprintf("cpu: SpecStep on %v core %d", c.State, c.ID))

@@ -165,9 +165,13 @@ type Accum struct {
 }
 
 // Add counts n occurrences of event e.
+//
+//acr:spec-safe
 func (a *Accum) Add(e Event, n uint64) { a.counts[e] += n }
 
 // Reset clears the accumulator for reuse.
+//
+//acr:spec-safe
 func (a *Accum) Reset() { a.counts = [numEvents]uint64{} }
 
 // Empty reports whether the accumulator holds no counts.
@@ -175,6 +179,8 @@ func (a *Accum) Empty() bool { return a.counts == [numEvents]uint64{} }
 
 // Merge folds a's counts into the meter. Must be called on the goroutine
 // that owns the meter.
+//
+//acr:spec-safe
 func (m *Meter) Merge(a *Accum) {
 	for e, n := range a.counts {
 		m.counts[e] += n

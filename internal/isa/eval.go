@@ -10,6 +10,8 @@ import "math"
 // value is bit-identical to the originally stored one.
 //
 // EvalALU panics if op is not an ALU operation; callers gate on Op.IsALU.
+//
+//acr:spec-safe
 func EvalALU(op Op, a, b, c, imm int64) int64 {
 	switch op {
 	case ADD:
@@ -94,6 +96,8 @@ func EvalALU(op Op, a, b, c, imm int64) int64 {
 
 // BranchTaken reports whether a branch with source values a, b is taken.
 // JMP is unconditionally taken. BranchTaken panics on non-branch ops.
+//
+//acr:spec-safe
 func BranchTaken(op Op, a, b int64) bool {
 	switch op {
 	case BEQ:
@@ -116,5 +120,8 @@ func F2I(f float64) int64 { return f2i(f) }
 // I2F interprets a register value as a float64.
 func I2F(v int64) float64 { return i2f(v) }
 
+//acr:spec-safe
 func f2i(f float64) int64 { return int64(math.Float64bits(f)) }
+
+//acr:spec-safe
 func i2f(v int64) float64 { return math.Float64frombits(uint64(v)) }

@@ -119,6 +119,8 @@ func (o Op) Valid() bool { return o < numOps }
 // operation (integer or floating point). Exactly these ops may appear in a
 // Slice: the paper requires Slices to contain no memory instructions and no
 // branches (§II-B, §III-A).
+//
+//acr:spec-safe
 func (o Op) IsALU() bool {
 	switch o {
 	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SHR, SLT,
@@ -131,6 +133,8 @@ func (o Op) IsALU() bool {
 
 // IsFloat reports whether o operates on floating point data. Used by the
 // energy model, which charges FPU ops more than integer ALU ops.
+//
+//acr:spec-safe
 func (o Op) IsFloat() bool {
 	switch o {
 	case FADD, FSUB, FMUL, FDIV, FNEG, FABS, FSQRT, FMA, CVTF, CVTI, FLT:
@@ -143,6 +147,8 @@ func (o Op) IsFloat() bool {
 func (o Op) IsMem() bool { return o == LD || o == ST }
 
 // IsBranch reports whether o may redirect control flow.
+//
+//acr:spec-safe
 func (o Op) IsBranch() bool {
 	switch o {
 	case BEQ, BNE, BLT, BGE, JMP:
@@ -237,6 +243,8 @@ func (in Instr) BranchTarget() (int, bool) {
 // DstReg returns the register the instruction writes and true, or 0 and
 // false if it writes none. Writes to r0 are discarded by the core but still
 // reported here.
+//
+//acr:spec-safe
 func (in Instr) DstReg() (Reg, bool) {
 	switch in.Op {
 	case NOP, HALT, BARRIER, JMP, ST, BEQ, BNE, BLT, BGE, ASSOCADDR:

@@ -7,6 +7,8 @@
 // The design is functional-direct with timing-model caches, as in Sniper:
 // loads and stores update the flat memory immediately; the caches decide
 // which *level* serviced an access, which determines latency and energy.
+//
+//acr:deterministic
 package mem
 
 import "fmt"
@@ -85,6 +87,8 @@ func NewCache(cfg CacheConfig) *Cache {
 // temporal locality makes it the common hit, and skipping the scan does
 // not change which way would have hit (tags are unique within a set) nor
 // any LRU decision (victim choice reads the same tick values either way).
+//
+//acr:spec-safe
 func (c *Cache) Access(line int64, markDirty bool) (hit bool, evicted int64, evictedDirty bool) {
 	set := int(uint64(line) & uint64(c.sets-1))
 	base := set * c.ways
@@ -165,6 +169,8 @@ func (c *Cache) DirtyLines() int {
 // BeginSpec opens a speculative round: subsequent Accesses journal each
 // touched set's pre-round contents so AbortSpec can undo them. Rounds do
 // not nest. Accesses outside a round pay no journaling cost (one branch).
+//
+//acr:spec-safe
 func (c *Cache) BeginSpec() {
 	if c.specEpoch == nil {
 		c.specEpoch = make([]uint32, c.sets)
@@ -182,10 +188,14 @@ func (c *Cache) BeginSpec() {
 }
 
 // CommitSpec keeps the round's accesses and discards the journal.
+//
+//acr:spec-safe
 func (c *Cache) CommitSpec() { c.spec = false }
 
 // AbortSpec restores every set touched since BeginSpec, and the LRU clock,
 // to their pre-round state.
+//
+//acr:spec-safe
 func (c *Cache) AbortSpec() {
 	for i, set := range c.jSets {
 		base := int(set) * c.ways
@@ -196,6 +206,7 @@ func (c *Cache) AbortSpec() {
 	c.spec = false
 }
 
+//acr:spec-safe
 func (c *Cache) journalTouch(set, base int) {
 	if c.specEpoch[set] == c.specCur {
 		return

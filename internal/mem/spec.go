@@ -93,6 +93,7 @@ type lineSet struct {
 	last int64 // last line added/probed hit; -1 when empty
 }
 
+//acr:spec-safe
 func (s *lineSet) reset() {
 	for _, ln := range s.list {
 		h := setHome(ln, len(s.keys))
@@ -105,11 +106,14 @@ func (s *lineSet) reset() {
 	s.last = -1
 }
 
+//acr:spec-safe
 func setHome(line int64, n int) int {
 	return int((uint64(line+1) * 0x9E3779B97F4A7C15) >> 32 & uint64(n-1))
 }
 
 // add inserts line, reporting whether it was new.
+//
+//acr:spec-safe
 func (s *lineSet) add(line int64) bool {
 	if line == s.last {
 		return false
@@ -136,6 +140,7 @@ func (s *lineSet) add(line int64) bool {
 	}
 }
 
+//acr:spec-safe
 func (s *lineSet) has(line int64) bool {
 	if len(s.keys) == 0 {
 		return false
@@ -152,8 +157,10 @@ func (s *lineSet) has(line int64) bool {
 	}
 }
 
+//acr:spec-safe
 func (s *lineSet) len() int { return len(s.list) }
 
+//acr:spec-safe
 func (s *lineSet) grow() {
 	old := s.keys
 	s.keys = make([]int64, len(old)*2)
@@ -183,6 +190,8 @@ func NewSpecView(sys *System, core int) *SpecView {
 
 // Begin opens a round: all per-round buffers reset, the core's stat
 // element is snapshotted, and the cache stack starts journaling.
+//
+//acr:spec-safe
 func (v *SpecView) Begin() {
 	// Deleting individual open-addressing slots would break probe
 	// sequences, so the overlay and assoc tables are wiped whole when used.
@@ -214,6 +223,8 @@ func (v *SpecView) Begin() {
 }
 
 // overlay lookup; ok reports presence.
+//
+//acr:spec-safe
 func (v *SpecView) ovGet(addr int64) (int64, bool) {
 	h := setHome(addr, len(v.ovKeys))
 	for {
@@ -227,6 +238,7 @@ func (v *SpecView) ovGet(addr int64) (int64, bool) {
 	}
 }
 
+//acr:spec-safe
 func (v *SpecView) ovPut(addr, val int64) {
 	if (v.ovLen+1)*4 > len(v.ovKeys)*3 {
 		old, vals := v.ovKeys, v.ovVals
@@ -261,6 +273,8 @@ func (v *SpecView) ovPut(addr, val int64) {
 
 // access mirrors System.access against the core's (real, journaled) cache
 // stack, charging the view's accumulator instead of the meter.
+//
+//acr:spec-safe
 func (v *SpecView) access(line int64, store bool) int64 {
 	s := v.sys
 	cc := &s.caches[v.core]
@@ -303,6 +317,8 @@ func (v *SpecView) access(line int64, store bool) int64 {
 // edge is observed; a line another round member stores to is a conflict,
 // so within committing rounds the frozen directory gives exactly the
 // serial observation.
+//
+//acr:spec-safe
 func (v *SpecView) observeComm(line int64) {
 	if v.writes.has(line) {
 		return
@@ -318,6 +334,8 @@ func (v *SpecView) observeComm(line int64) {
 }
 
 // Load mirrors System.Load speculatively.
+//
+//acr:spec-safe
 func (v *SpecView) Load(addr int64) (val, cycles int64) {
 	v.sys.checkAddr(addr)
 	line := addr / int64(v.sys.cfg.LineWords)
@@ -334,6 +352,8 @@ func (v *SpecView) Load(addr int64) (val, cycles int64) {
 // frozen log bits plus the quantum's own overlay: the word is a first
 // store iff its interval log bit was clear at round start and this quantum
 // has not stored it before.
+//
+//acr:spec-safe
 func (v *SpecView) Store(addr, val int64) (old int64, first bool, cycles int64) {
 	s := v.sys
 	s.checkAddr(addr)
@@ -362,6 +382,8 @@ func (v *SpecView) Store(addr, val int64) (old int64, first bool, cycles int64) 
 // joins the write set (the association publishes directory state for that
 // line, so any cross-core touch of it must conflict rather than observe a
 // half-applied association).
+//
+//acr:spec-safe
 func (v *SpecView) NoteAssoc(addr int64) {
 	line := addr / int64(v.sys.cfg.LineWords)
 	v.writes.add(line)
@@ -397,6 +419,8 @@ func (v *SpecView) NoteAssoc(addr int64) {
 // engine's first-store stall prediction peeks the frozen AddrMap, which
 // cannot see the quantum's own pending association — such a store makes
 // the prediction unreliable, so the engine poisons the round.
+//
+//acr:spec-safe
 func (v *SpecView) AssocdOwn(addr int64) bool {
 	if v.oaLen == 0 {
 		return false
@@ -415,16 +439,22 @@ func (v *SpecView) AssocdOwn(addr int64) bool {
 
 // ReadLines and WriteLines expose the touched-line sets (dense, unordered)
 // for the engine's conflict scan.
+//
+//acr:spec-safe
 func (v *SpecView) ReadLines() []int64  { return v.reads.list }
 func (v *SpecView) WriteLines() []int64 { return v.writes.list }
 
 // Touched reports whether the quantum read or wrote line.
+//
+//acr:spec-safe
 func (v *SpecView) Touched(line int64) bool {
 	return v.reads.has(line) || v.writes.has(line)
 }
 
 // Abort discards the round: the cache stack rolls back and the core's stat
 // element is restored. Buffered effects die with the next Begin.
+//
+//acr:spec-safe
 func (v *SpecView) Abort() {
 	cc := &v.sys.caches[v.core]
 	cc.l1d.AbortSpec()
@@ -439,6 +469,8 @@ func (v *SpecView) Abort() {
 // energy accumulator. Hook effects (checkpoint logging, associations) are
 // NOT applied here — the engine replays those through the real hooks in
 // serial merge order.
+//
+//acr:spec-safe
 func (v *SpecView) Commit() {
 	s := v.sys
 	cc := &s.caches[v.core]

@@ -165,6 +165,7 @@ func (s *System) WriteWord(addr, val int64) {
 	s.dram[addr] = val
 }
 
+//acr:spec-safe
 func (s *System) checkAddr(addr int64) {
 	if addr < 0 || addr >= int64(len(s.dram)) {
 		panic(fmt.Sprintf("mem: address %d out of range [0,%d)", addr, len(s.dram)))

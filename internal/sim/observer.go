@@ -16,7 +16,10 @@ package sim
 // invariant (bit-identical results for identical configs, with observation
 // attached or not) is maintained by keeping observation strictly one-way.
 // A mutating observer is a bug, and the determinism regression tests are
-// written to catch it.
+// written to catch it — dynamically; the observerpurity analyzer proves the
+// write/call discipline statically for every implementation in the module.
+//
+//acr:observer
 type Observer interface {
 	OnEvent(e Event)
 }

@@ -145,6 +145,8 @@ func (e *parallelEngine) worker() {
 // shared state. A panic (the simulator's response to architecturally
 // impossible situations) is captured and re-raised deterministically by the
 // serial replay of the aborted round, on the machine's goroutine.
+//
+//acr:spec-safe
 func (e *parallelEngine) runCore(id int) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -161,6 +163,8 @@ func (e *parallelEngine) runCore(id int) {
 
 // SpecFirstStore implements cpu.SpecHooks: predict the stall against the
 // round-frozen AddrMap and defer the real hook to commit.
+//
+//acr:spec-safe
 func (e *parallelEngine) SpecFirstStore(core int, cycle int64, addr, old int64) int64 {
 	m := e.m
 	if m.mgr == nil {
@@ -186,6 +190,8 @@ func (e *parallelEngine) SpecFirstStore(core int, cycle int64, addr, old int64) 
 // SpecAssoc implements cpu.SpecHooks. AddrMap insertion never stalls
 // (OnAssoc returns 0 whether the insertion is accepted or rejected), so the
 // prediction is trivial; the insertion itself is deferred to commit.
+//
+//acr:spec-safe
 func (e *parallelEngine) SpecAssoc(core int, cycle int64, pc int, addr int64, recipe slice.Ref) int64 {
 	if e.m.handler == nil {
 		return 0

@@ -80,6 +80,7 @@ func newScheduler(cores []*cpu.Core) *scheduler {
 	return s
 }
 
+//acr:noalloc
 func (s *scheduler) transition(c *cpu.Core, from, to cpu.State) {
 	s.counts[from]--
 	s.counts[to]++
@@ -115,6 +116,8 @@ func (s *scheduler) transition(c *cpu.Core, from, to cpu.State) {
 // once per committed or replayed quantum, and the coordinator/recovery
 // paths after every synchronisation — every point where a clock moves
 // between liveMax consultations.
+//
+//acr:noalloc
 func (s *scheduler) noteClock(t int64) {
 	if t > s.clockHi {
 		s.clockHi = t
@@ -148,6 +151,8 @@ func (s *scheduler) halted() int    { return s.counts[cpu.Halted] }
 // and any such overestimate is dominated by the exact bound contributed
 // when the displacement happens, so the minimum is identical to the
 // two-pass result.
+//
+//acr:noalloc
 func (s *scheduler) pick() (*cpu.Core, int64) {
 	var best *cpu.Core
 	bound := unbounded
@@ -175,6 +180,8 @@ func (s *scheduler) pick() (*cpu.Core, int64) {
 // syncTime returns the latest clock among barrier-waiting cores plus their
 // population (the barrier release point), from the incremental aggregate
 // when it is exact and by rescan otherwise.
+//
+//acr:noalloc
 func (s *scheduler) syncTime() (t int64, n int) {
 	if !s.barrierStale {
 		t, n = s.barrierMax, s.counts[cpu.AtBarrier]
@@ -191,6 +198,8 @@ func (s *scheduler) syncTime() (t int64, n int) {
 }
 
 // syncTimeScan is the reference O(cores) computation of syncTime.
+//
+//acr:noalloc
 func (s *scheduler) syncTimeScan() (t int64, n int) {
 	for _, c := range s.cores {
 		if c.State == cpu.AtBarrier {
@@ -206,6 +215,8 @@ func (s *scheduler) syncTimeScan() (t int64, n int) {
 // liveMax returns the latest clock among non-halted cores (checkpoint
 // establishment and error-detection synchronisation points), from the
 // noteClock high-water mark when it is exact and by rescan otherwise.
+//
+//acr:noalloc
 func (s *scheduler) liveMax(floor int64) int64 {
 	if !s.liveStale {
 		t := floor
@@ -228,6 +239,8 @@ func (s *scheduler) liveMax(floor int64) int64 {
 }
 
 // liveMaxScan is the reference O(cores) computation of liveMax.
+//
+//acr:noalloc
 func (s *scheduler) liveMaxScan(floor int64) int64 {
 	t := floor
 	for _, c := range s.cores {

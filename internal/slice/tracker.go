@@ -150,13 +150,16 @@ func NewTracker(nCores int) *Tracker {
 	return t
 }
 
+//acr:spec-safe
 func (s *shard) push(n node) Ref {
 	s.arena = append(s.arena, n)
 	return Ref(len(s.arena) - 1)
 }
 
+//acr:spec-safe
 func (s *shard) at(r Ref) *node { return &s.arena[r] }
 
+//acr:spec-safe
 func (s *shard) recipe(reg isa.Reg) Ref {
 	if reg == 0 {
 		return s.zero
@@ -164,6 +167,7 @@ func (s *shard) recipe(reg isa.Reg) Ref {
 	return s.recipes[reg]
 }
 
+//acr:spec-safe
 func (s *shard) setRecipe(reg isa.Reg, r Ref) {
 	if reg == 0 {
 		return
@@ -175,17 +179,23 @@ func (s *shard) setRecipe(reg isa.Reg, r Ref) {
 }
 
 // Recipe returns the recipe of reg on core.
+//
+//acr:spec-safe
 func (t *Tracker) Recipe(core int, reg isa.Reg) Ref {
 	return t.shards[core].recipe(reg)
 }
 
 // Size returns the unrolled instruction count of core's recipe r (SatSize
 // if saturated/unrecomputable).
+//
+//acr:spec-safe
 func (t *Tracker) Size(core int, r Ref) int { return int(t.shards[core].at(r).size) }
 
 // OnLoad records that a load wrote val into rd: the recipe becomes a
 // buffered-input leaf capturing the loaded value (loads cut Slices and
 // their results are input operands, paper §III-A / Fig. 3).
+//
+//acr:spec-safe
 func (t *Tracker) OnLoad(core int, rd isa.Reg, val int64) {
 	s := &t.shards[core]
 	s.setRecipe(rd, s.push(node{kind: kindInput, val: val}))
@@ -194,6 +204,8 @@ func (t *Tracker) OnLoad(core int, rd isa.Reg, val int64) {
 // SetLiveIn marks rd as holding an externally-produced value val (e.g.
 // restored from a checkpoint). Like a load result, it becomes a buffered
 // input leaf.
+//
+//acr:spec-safe
 func (t *Tracker) SetLiveIn(core int, rd isa.Reg, val int64) {
 	t.OnLoad(core, rd, val)
 }
@@ -211,6 +223,8 @@ func (t *Tracker) ResetCore(core int, vals *[isa.NumRegs]int64) {
 }
 
 // OnALU updates rd's recipe for the executed ALU instruction in.
+//
+//acr:spec-safe
 func (t *Tracker) OnALU(core int, in isa.Instr) {
 	rd, ok := in.DstReg()
 	if !ok {
@@ -255,6 +269,8 @@ func (t *Tracker) OnALU(core int, in isa.Instr) {
 }
 
 // MarkOpaque forces rd's recipe to the unrecomputable sentinel.
+//
+//acr:spec-safe
 func (t *Tracker) MarkOpaque(core int, rd isa.Reg) {
 	s := &t.shards[core]
 	s.setRecipe(rd, s.opaque)
@@ -274,6 +290,8 @@ func (t *Tracker) ArenaLen() int {
 // is snapshotted and compaction is deferred, so refs handed out during the
 // round stay valid until CommitSpec (hook-event replay needs them) and
 // AbortSpec can discard the round by truncation. Rounds do not nest.
+//
+//acr:spec-safe
 func (t *Tracker) BeginSpec(core int) {
 	s := &t.shards[core]
 	s.savedLimit = s.compactLimit
@@ -285,6 +303,8 @@ func (t *Tracker) BeginSpec(core int) {
 // CommitSpec closes core's speculative round, keeping its nodes. Deferred
 // compaction runs now if the arena grew past the limit; the caller must not
 // hold refs across this call.
+//
+//acr:spec-safe
 func (t *Tracker) CommitSpec(core int) {
 	s := &t.shards[core]
 	s.compactLimit = s.savedLimit
@@ -296,6 +316,8 @@ func (t *Tracker) CommitSpec(core int) {
 // AbortSpec discards every node pushed since BeginSpec and restores the
 // recipe roots, returning the shard bit-identically to its pre-round state
 // (nodes are immutable and only appended, so truncation suffices).
+//
+//acr:spec-safe
 func (t *Tracker) AbortSpec(core int) {
 	s := &t.shards[core]
 	s.arena = s.arena[:s.specBase]
@@ -310,6 +332,8 @@ func (t *Tracker) AbortSpec(core int) {
 // remap array, and the surviving nodes move into the spare buffer, which
 // is pre-sized from the live-set high-water mark so the following
 // compactLimit pushes never reallocate.
+//
+//acr:spec-safe
 func (s *shard) compact() {
 	if cap(s.remap) < len(s.arena) {
 		s.remap = make([]Ref, len(s.arena))

@@ -1,0 +1,137 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer proves the bit-identical-results invariant at the
+// source level for packages annotated //acr:deterministic: no wall-clock
+// reads, no math/rand, and no map-range loop whose body can reach program
+// output (emission, telemetry, appends to state that outlives the loop) —
+// Go randomizes map iteration order, so such a loop is a nondeterminism
+// bug by construction. Intentional wall-clock sites (host-time driver
+// diagnostics) opt out with //acr:wallclock-ok; a map-range loop whose
+// order is proven immaterial opts out with //acr:maporder-ok.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock reads, math/rand and order-leaking map ranges in //acr:deterministic packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time-package entry points that read or depend on
+// the host clock. Pure value plumbing (time.Duration arithmetic) is fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func runDeterminism(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !prog.Ann.PackageHas(pkg.Path, "deterministic") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			diags = append(diags, detFile(prog, pkg, file)...)
+		}
+	}
+	return diags
+}
+
+func detFile(prog *Program, pkg *Package, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos ast.Node, directive, format string, args ...any) {
+		if prog.Ann.LineHas(prog.Fset, pos.Pos(), directive) {
+			return
+		}
+		if fd, fn := enclosingFunc(pkg, file, pos.Pos()); fd != nil && fn != nil && prog.Ann.FuncHas(fn, directive) {
+			return
+		}
+		diags = append(diags, diag(prog, "determinism", pos.Pos(), format, args...))
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := useObj(pkg, n.Sel)
+			switch pkgPathOf(obj) {
+			case "time":
+				if fn, ok := obj.(*types.Func); ok && wallClockFuncs[fn.Name()] {
+					report(n, "wallclock-ok",
+						"call to time.%s in deterministic package %s (annotate //acr:wallclock-ok if host time never reaches simulated results)",
+						fn.Name(), pkg.Types.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				report(n, "wallclock-ok",
+					"use of %s.%s in deterministic package %s: seedless process-global randomness breaks bit-identical replay",
+					obj.Pkg().Name(), obj.Name(), pkg.Types.Name())
+			}
+		case *ast.RangeStmt:
+			t := pkg.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if leak := mapRangeLeak(prog, pkg, n); leak != "" {
+				report(n, "maporder-ok",
+					"map-range loop %s: iteration order is randomized, so the output depends on it (iterate a sorted key slice, or annotate //acr:maporder-ok with the order-independence argument)",
+					leak)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// mapRangeLeak reports how a map-range body leaks iteration order into
+// observable output, or "" when the body looks order-insensitive
+// (commutative aggregation into locals).
+func mapRangeLeak(prog *Program, pkg *Package, loop *ast.RangeStmt) string {
+	leak := ""
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if leak != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg, n); fn != nil {
+				path := pkgPathOf(fn)
+				switch {
+				case path == "fmt" || path == "os" || path == "io" || path == "bufio":
+					leak = "emits through " + funcName(fn)
+				case prog.Local(path) && pkg.Types.Path() != path && lastElem(path) == "telemetry":
+					leak = "touches telemetry via " + funcName(fn)
+				}
+			}
+			if builtinName(pkg, n) == "append" {
+				// append whose destination outlives the loop accumulates
+				// in iteration order.
+				if len(n.Args) > 0 {
+					if id := rootIdent(n.Args[0]); id != nil {
+						obj := useObj(pkg, id)
+						if obj != nil && !(loop.Pos() <= obj.Pos() && obj.Pos() <= loop.End()) {
+							leak = "appends to " + id.Name + " declared outside the loop"
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			leak = "sends on a channel"
+		}
+		return true
+	})
+	return leak
+}
+
+func lastElem(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,257 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAllocAnalyzer checks functions annotated //acr:noalloc — the
+// per-instruction hot paths that the PR 4 alloc-budget benchmarks protect
+// dynamically — for source constructs that heap-allocate: make/new,
+// growing append, composite literals whose address escapes, closures,
+// goroutines, defers, map inserts, string concatenation and conversions,
+// interface boxing, and calls into allocating formatting/string packages.
+//
+// The checks are conservative (escape analysis would stack-allocate some
+// flagged sites); a site verified cold or non-escaping carries an
+// end-of-line //acr:alloc-ok with the justification, which is itself part
+// of the reviewed source. Subtrees under panic(...) are exempt: the panic
+// path abandons the simulation, so its allocations are irrelevant.
+var NoAllocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs in //acr:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+// allocatingStd are stdlib packages whose exported API allocates on
+// essentially every call; a noalloc function has no business calling them.
+var allocatingStd = map[string]bool{
+	"fmt": true, "strings": true, "strconv": true, "sort": true,
+	"bytes": true, "errors": true,
+}
+
+func runNoAlloc(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil || !prog.Ann.FuncHas(fn, "noalloc") {
+					continue
+				}
+				diags = append(diags, noAllocFunc(prog, pkg, fd, fn)...)
+			}
+		}
+	}
+	return diags
+}
+
+func noAllocFunc(prog *Program, pkg *Package, fd *ast.FuncDecl, fn *types.Func) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		if prog.Ann.LineHas(prog.Fset, n.Pos(), "alloc-ok") {
+			return
+		}
+		args = append(args, funcName(fn))
+		diags = append(diags, diag(prog, "noalloc", n.Pos(), format+" in //acr:noalloc %s", args...))
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if inPanic(pkg, n) {
+				return false
+			}
+			switch builtinName(pkg, n) {
+			case "make":
+				report(n, "make allocates")
+				return true
+			case "new":
+				report(n, "new allocates")
+				return true
+			case "append":
+				report(n, "append may grow its backing array")
+				return true
+			}
+			if isConversion(pkg, n) {
+				to := pkg.Info.TypeOf(n)
+				from := pkg.Info.TypeOf(n.Args[0])
+				if to != nil && from != nil && conversionAllocates(to, from) {
+					report(n, "conversion %s(%s) copies its operand", types.TypeString(to, types.RelativeTo(pkg.Types)), from)
+				}
+				return true
+			}
+			if callee := calleeFunc(pkg, n); callee != nil {
+				if path := pkgPathOf(callee); allocatingStd[path] {
+					report(n, "call to allocating stdlib %s", funcName(callee))
+				}
+			}
+			diags = append(diags, boxedArgs(prog, pkg, fn, n)...)
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n, "slice literal allocates")
+				case *types.Map:
+					report(n, "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n, "&composite-literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pkg.Info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN {
+				if t := pkg.Info.TypeOf(n.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "string concatenation allocates")
+					}
+				}
+			}
+			diags = append(diags, mapInsert(prog, pkg, fn, n)...)
+			diags = append(diags, boxedAssign(prog, pkg, fn, n)...)
+		case *ast.FuncLit:
+			report(n, "closure may escape to the heap")
+			return false // do not double-report the closure body
+		case *ast.GoStmt:
+			report(n, "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			report(n, "defer allocates its frame record")
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return diags
+}
+
+// inPanic reports whether call is the panic builtin or sits inside one:
+// the panic path abandons the run, so its allocation cost is irrelevant.
+func inPanic(pkg *Package, call *ast.CallExpr) bool {
+	return builtinName(pkg, call) == "panic"
+}
+
+// mapInsert flags assignments through a map index: inserts may grow the
+// table.
+func mapInsert(prog *Program, pkg *Package, fn *types.Func, as *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	for _, lhs := range as.Lhs {
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if t := pkg.Info.TypeOf(ix.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				if !prog.Ann.LineHas(prog.Fset, lhs.Pos(), "alloc-ok") {
+					diags = append(diags, diag(prog, "noalloc", lhs.Pos(),
+						"map insert may grow the table in //acr:noalloc %s", funcName(fn)))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// conversionAllocates reports conversions with an allocating copy:
+// string <-> []byte/[]rune, and concrete -> interface.
+func conversionAllocates(to, from types.Type) bool {
+	if types.IsInterface(to) && !types.IsInterface(from) {
+		return true
+	}
+	toB, toIsBasic := to.Underlying().(*types.Basic)
+	_, fromIsSlice := from.Underlying().(*types.Slice)
+	if toIsBasic && toB.Info()&types.IsString != 0 && fromIsSlice {
+		return true
+	}
+	_, toIsSlice := to.Underlying().(*types.Slice)
+	fromB, fromIsBasic := from.Underlying().(*types.Basic)
+	if toIsSlice && fromIsBasic && fromB.Info()&types.IsString != 0 {
+		return true
+	}
+	return false
+}
+
+// boxedArgs flags concrete values passed to interface-typed parameters:
+// the conversion boxes the value on the heap.
+func boxedArgs(prog *Program, pkg *Package, fn *types.Func, call *ast.CallExpr) []Diagnostic {
+	sigT := pkg.Info.TypeOf(call.Fun)
+	if sigT == nil {
+		return nil
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var diags []Diagnostic
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		at := pkg.Info.TypeOf(arg)
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if prog.Ann.LineHas(prog.Fset, arg.Pos(), "alloc-ok") {
+			continue
+		}
+		diags = append(diags, diag(prog, "noalloc", arg.Pos(),
+			"argument boxes %s into interface %s in //acr:noalloc %s",
+			types.TypeString(at, types.RelativeTo(pkg.Types)),
+			types.TypeString(pt, types.RelativeTo(pkg.Types)), funcName(fn)))
+	}
+	return diags
+}
+
+// boxedAssign flags concrete-to-interface assignments.
+func boxedAssign(prog *Program, pkg *Package, fn *types.Func, as *ast.AssignStmt) []Diagnostic {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var diags []Diagnostic
+	for i := range as.Lhs {
+		lt := pkg.Info.TypeOf(as.Lhs[i])
+		rt := pkg.Info.TypeOf(as.Rhs[i])
+		if lt == nil || rt == nil || !types.IsInterface(lt) || types.IsInterface(rt) {
+			continue
+		}
+		if b, ok := rt.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if prog.Ann.LineHas(prog.Fset, as.Pos(), "alloc-ok") {
+			continue
+		}
+		diags = append(diags, diag(prog, "noalloc", as.Rhs[i].Pos(),
+			"assignment boxes %s into interface %s in //acr:noalloc %s",
+			types.TypeString(rt, types.RelativeTo(pkg.Types)),
+			types.TypeString(lt, types.RelativeTo(pkg.Types)), funcName(fn)))
+	}
+	return diags
+}

@@ -1,0 +1,128 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObserverAnalyzer mechanizes the PR 3 observation contract: observation
+// is strictly one-way. For every interface annotated //acr:observer
+// (sim.Observer), each implementation's interface methods must not mutate
+// anything but the implementing value itself — no package-level writes, no
+// writes through non-receiver roots, and no calls back into the package
+// that declares the interface (an observer that drives the machine it
+// observes breaks the with-or-without-observation bit-identity the bench
+// driver's replay guard asserts dynamically).
+var ObserverAnalyzer = &Analyzer{
+	Name: "observerpurity",
+	Doc:  "prove //acr:observer implementations are one-way",
+	Run:  runObserver,
+}
+
+func runObserver(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, ifaceTN := range prog.Ann.AnnotatedTypes(prog, "observer") {
+		iface, ok := ifaceTN.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue // hygiene flags the misplacement
+		}
+		for _, pkg := range prog.Pkgs {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() || tn == ifaceTN {
+					continue
+				}
+				T := tn.Type()
+				if types.IsInterface(T) {
+					continue
+				}
+				impl := types.Implements(T, iface) || types.Implements(types.NewPointer(T), iface)
+				if !impl {
+					continue
+				}
+				diags = append(diags, observerImpl(prog, pkg, tn, ifaceTN, iface)...)
+			}
+		}
+	}
+	return diags
+}
+
+func observerImpl(prog *Program, pkg *Package, tn *types.TypeName, ifaceTN *types.TypeName, iface *types.Interface) []Diagnostic {
+	var diags []Diagnostic
+	for i := 0; i < iface.NumMethods(); i++ {
+		im := iface.Method(i)
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Types, im.Name())
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		fd, declPkg := prog.Decl(fn)
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		diags = append(diags, observerMethod(prog, declPkg, fd, fn, tn, ifaceTN)...)
+	}
+	return diags
+}
+
+func observerMethod(prog *Program, pkg *Package, fd *ast.FuncDecl, fn *types.Func, tn, ifaceTN *types.TypeName) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		args = append(args, tn.Name(), ifaceTN.Name())
+		diags = append(diags, diag(prog, "observerpurity", n.Pos(), format+" (%s implements //acr:observer %s)", args...))
+	}
+
+	checkWrite := func(e ast.Expr) {
+		id := rootIdent(e)
+		if id == nil {
+			report(e, "write through a non-identifier lvalue cannot be proven observer-local")
+			return
+		}
+		obj := useObj(pkg, id)
+		if isPkgLevelVar(obj) {
+			report(e, "observer writes package-level %s", id.Name)
+			return
+		}
+		if !isLocalTo(obj, fd) {
+			report(e, "observer writes %s, which is neither local nor the receiver", id.Name)
+		}
+	}
+
+	ifacePkg := ifaceTN.Pkg()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		case *ast.CallExpr:
+			if inPanic(pkg, n) {
+				return false
+			}
+			callee := calleeFunc(pkg, n)
+			if callee == nil {
+				return true
+			}
+			// Calling back into the package that declares the observed
+			// interface is driving the machine, unless the callee is a
+			// value-receiver accessor (those cannot mutate the machine) or
+			// the observer itself lives there.
+			if callee.Pkg() == ifacePkg && tn.Pkg() != ifacePkg {
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+						return true
+					}
+				}
+				report(n, "observer calls %s in the observed package %s", funcName(callee), ifacePkg.Name())
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,29 @@
+package vet_test
+
+import (
+	"testing"
+
+	"acr/internal/vet"
+)
+
+// TestRepositoryClean asserts the invariant the CI acrvet gate enforces:
+// the full analyzer suite reports zero findings on the repository itself.
+// A finding here means either a genuine invariant violation or an
+// annotation that needs its justification reviewed — both block the merge.
+func TestRepositoryClean(t *testing.T) {
+	root, err := vet.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	l, err := vet.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	prog, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("type-checking repository: %v", err)
+	}
+	for _, d := range vet.Run(prog, vet.Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,72 @@
+// Package determinism is an acrvet fixture: seeded violations of the
+// bit-identical-results invariant next to the clean idioms the analyzer
+// must stay silent on. The // want comments are the golden expectations
+// checked by internal/vet/vettest.
+//
+//acr:deterministic
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadWallClock reads the host clock inside a deterministic package.
+func BadWallClock() int64 {
+	t := time.Now() // want "call to time.Now in deterministic package determinism"
+	return t.UnixNano()
+}
+
+// BadRand draws from the seedless process-global generator.
+func BadRand() int {
+	return rand.Intn(8) // want "use of rand.Intn in deterministic package determinism"
+}
+
+// BadMapOrder accumulates keys in iteration order: the result depends on
+// the randomized order.
+func BadMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map-range loop appends to keys declared outside the loop"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadMapPrint emits directly from a map-range body.
+func BadMapPrint(m map[string]int) {
+	for k, v := range m { // want "map-range loop emits through fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// GoodSum aggregates commutatively: iteration order cannot reach the
+// result, so no annotation is needed.
+func GoodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSorted collects then sorts before any use: the canonical idiom,
+// declared order-independent on the range line.
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //acr:maporder-ok keys are sorted below before any use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodProfiled reads the wall clock for host-side diagnostics that never
+// reach simulated results, declared on the function.
+//
+//acr:wallclock-ok host-side profiling only; never reaches results
+func GoodProfiled() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

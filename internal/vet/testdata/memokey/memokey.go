@@ -1,0 +1,78 @@
+// Package memokey is an acrvet fixture for memo-key completeness: a key
+// struct with reference-identity fields, a spec whose fields variously
+// reach (or miss) the key and its canonicaliser, and a cache owner with an
+// undeclared knob.
+package memokey
+
+import "strings"
+
+// Key is the memo key: it must be a pure value, deeply comparable with no
+// reference identity.
+//
+//acr:memo-key
+type Key struct {
+	Name    string
+	Params  [4]int64
+	Workers int
+	Seed    int64
+	Nested  inner    // want "memo-key field Key.Nested.ptr has reference type *int64"
+	Tags    []string // want "memo-key field Key.Tags has reference type []string"
+}
+
+type inner struct {
+	scale float64
+	ptr   *int64
+}
+
+// Spec is the configuration struct; normalized is its canonicaliser.
+//
+//acr:memo-spec normalized
+type Spec struct {
+	Name    string // read by normalized
+	Workers int    // mirrored in Key by name and type
+	Seed    int64  // read by normalized
+	Debug   bool   // want "Spec.Debug reaches neither the memo key nor canonicaliser normalized"
+	// Verbose claims exemption but is never canonicalised, so two
+	// spellings of one configuration would split the cache.
+	//
+	//acr:memo-exempt
+	Verbose bool // want "Spec.Verbose is //acr:memo-exempt but normalized never canonicalises it"
+	// LogPath is exempt and zeroed by the canonicaliser: the clean shape.
+	//
+	//acr:memo-exempt
+	LogPath string
+}
+
+func (s Spec) normalized() Spec {
+	n := s
+	n.Name = strings.TrimSpace(s.Name)
+	n.Seed = s.Seed & 0xffff
+	n.LogPath = ""
+	return n
+}
+
+// Broken names a canonicaliser that does not exist.
+//
+// want-next "names canonicaliser canonical, but Broken has no such method"
+//
+//acr:memo-spec canonical
+type Broken struct {
+	N int // want "Broken.N reaches neither the memo key nor canonicaliser canonical"
+}
+
+// Cache owns the memo table; exported fields are driver knobs and must be
+// declared result-invariant.
+//
+//acr:memo-cache
+type Cache struct {
+	//acr:memo-exempt pool width never changes results, only wall-clock
+	Workers int
+	Retries int // want "Cache.Retries is a knob on the memo-cache owner but outside the memo key"
+	table   map[string]int
+}
+
+// Lookup keeps the unexported machinery referenced.
+func (c *Cache) Lookup(key string) (int, bool) {
+	v, ok := c.table[key]
+	return v, ok
+}

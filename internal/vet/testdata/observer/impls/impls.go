@@ -1,0 +1,52 @@
+// Package impls holds fixture implementations of the observer contract:
+// one clean recorder and three ways to break one-way observation.
+package impls
+
+import fixture "acr/internal/vet/testdata/observer"
+
+// total is package-level state a leaking observer accumulates into.
+var total int64
+
+// globalSlots is shared storage reachable through a function result.
+var globalSlots = make([]int64, 4)
+
+func sharedSlot() []int64 { return globalSlots }
+
+// Recorder is a clean observer: it only touches its own fields.
+type Recorder struct {
+	events []fixture.Event
+	n      int
+}
+
+// OnEvent implements fixture.Observer.
+func (r *Recorder) OnEvent(e fixture.Event) {
+	r.events = append(r.events, e)
+	r.n++
+}
+
+// Leaker accumulates into package-level state.
+type Leaker struct{}
+
+// OnEvent implements fixture.Observer.
+func (Leaker) OnEvent(e fixture.Event) {
+	total += int64(e.Detail) // want "observer writes package-level total"
+}
+
+// Driver calls back into the observed package's mutator.
+type Driver struct {
+	m *fixture.Machine
+}
+
+// OnEvent implements fixture.Observer.
+func (d *Driver) OnEvent(e fixture.Event) {
+	d.m.Advance(1) // want "observer calls Machine.Advance in the observed package observer"
+	_ = d.m.Cycles()
+}
+
+// Alias writes through an lvalue whose root is not an identifier.
+type Alias struct{}
+
+// OnEvent implements fixture.Observer.
+func (Alias) OnEvent(e fixture.Event) {
+	sharedSlot()[0] = int64(e.Kind) // want "write through a non-identifier lvalue cannot be proven observer-local"
+}

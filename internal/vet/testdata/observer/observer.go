@@ -1,0 +1,28 @@
+// Package observer is an acrvet fixture: the observed machine side of the
+// observer-purity contract. Implementations live in the impls subpackage so
+// the call-back rule (an observer must not drive the package declaring the
+// interface) is exercised cross-package, as in the real repository.
+package observer
+
+// Event is one emission of the observed machine.
+type Event struct{ Kind, Detail int }
+
+// Machine is the observed state.
+type Machine struct {
+	cycles int64
+}
+
+// Observer receives events; implementations must be strictly one-way.
+//
+//acr:observer
+type Observer interface {
+	OnEvent(e Event)
+}
+
+// Advance drives the machine: a pointer-receiver mutator that observers
+// must not call.
+func (m *Machine) Advance(n int64) { m.cycles += n }
+
+// Cycles is a value-receiver accessor: it cannot mutate the machine, so
+// observers may call it.
+func (m Machine) Cycles() int64 { return m.cycles }

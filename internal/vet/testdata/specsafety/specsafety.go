@@ -1,0 +1,72 @@
+// Package specsafety is an acrvet fixture for the speculative-confinement
+// analyzer: spec-safe functions that stay on core-private state and
+// annotated callees, next to the write and call shapes that must be
+// flagged.
+package specsafety
+
+import (
+	"fmt"
+	"time"
+)
+
+var specGlobal int64
+
+type core struct {
+	regs  [4]int64
+	hooks Hooks
+	fn    func(int64) int64
+}
+
+// Hooks is the fixture's injection-point interface. The contract method is
+// vouched spec-safe, so calls through the interface resolve to an
+// annotated object; each implementation carries (and is checked under) its
+// own annotation.
+type Hooks interface {
+	//acr:spec-safe
+	Predict(addr int64) int64
+}
+
+// goodStep touches only receiver state and annotated callees.
+//
+//acr:spec-safe
+func goodStep(c *core, addr int64) int64 {
+	c.regs[0]++
+	return c.hooks.Predict(addr) + goodHelper(addr)
+}
+
+// goodHelper is pure; its panic path may format freely.
+//
+//acr:spec-safe
+func goodHelper(addr int64) int64 {
+	if addr < 0 {
+		panic(fmt.Sprintf("specsafety fixture: negative address %d", addr))
+	}
+	return addr * 3
+}
+
+// goodJustified calls through a function value with the confinement
+// argument on the line.
+//
+//acr:spec-safe
+func goodJustified(c *core, addr int64) int64 {
+	return c.fn(addr) //acr:spec-ok fn is core-private, set before the round starts
+}
+
+// badWrites mutates package-level state from a speculative round.
+//
+//acr:spec-safe
+func badWrites() {
+	specGlobal++ // want "write to package-level specGlobal"
+}
+
+// badCalls leaves the confinement discipline four ways.
+//
+//acr:spec-safe
+func badCalls(c *core, addr int64) int64 {
+	go badHelper()              // want "go statement: speculative code must stay on its worker goroutine" "call to specsafety.badHelper, which is not //acr:spec-safe"
+	time.Sleep(time.Nanosecond) // want "call to time.Sleep touches process-shared state"
+	badHelper()                 // want "call to specsafety.badHelper, which is not //acr:spec-safe"
+	return c.fn(addr)           // want "call through a function value cannot be proven spec-safe"
+}
+
+func badHelper() {}

@@ -1,0 +1,123 @@
+// Package vettest is the golden-fixture harness for the acrvet analyzer
+// suite. A fixture is an ordinary Go package under internal/vet/testdata
+// (excluded from ./... expansion, so seeded violations never reach the
+// repository gate) whose sources embed expectations as comments:
+//
+//	t.slots = append(t.slots, rec{}) // want "append may grow its backing array"
+//
+// A // want comment holds one quoted substring per expected diagnostic on
+// its own line. For diagnostics anchored on positions that are themselves
+// comments (directive-grammar findings), // want-next matches anywhere from
+// the following line to the end of its own comment group — gofmt moves
+// directive comments within a group, so a fixed offset would be brittle.
+// Check fails the test on any diagnostic without a matching expectation
+// and any expectation without a matching diagnostic — the fixture is
+// golden in both directions.
+package vettest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"acr/internal/vet"
+)
+
+// loader is shared across fixture tests: programs assembled by one loader
+// share its FileSet and type-checker universe, so the standard library is
+// type-checked once per test binary rather than once per fixture.
+var loader = sync.OnceValues(func() (*vet.Loader, error) {
+	root, err := vet.FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return vet.NewLoader(root)
+})
+
+// expectation is one parsed // want clause, matching diagnostics in the
+// line range [lineMin, lineMax] of file.
+type expectation struct {
+	file             string
+	lineMin, lineMax int
+	substr           string
+	hit              bool
+}
+
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Check loads the fixture packages named by their import paths, runs
+// exactly one analyzer over them and compares the findings against the
+// embedded expectations.
+func Check(t *testing.T, a *vet.Analyzer, paths ...string) {
+	t.Helper()
+	l, err := loader()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	prog, err := l.Load(paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", paths, err)
+	}
+	wants := collectWants(prog)
+	for _, d := range vet.Run(prog, []*vet.Analyzer{a}) {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q: no %s diagnostic matched", w.file, w.lineMin, w.substr, a.Name)
+		}
+	}
+}
+
+// claim marks the first unhit expectation matching d and reports whether
+// one existed.
+func claim(wants []*expectation, d vet.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.File && w.lineMin <= d.Line && d.Line <= w.lineMax &&
+			strings.Contains(d.Message, w.substr) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want and // want-next comments of every
+// matched package.
+func collectWants(prog *vet.Program) []*expectation {
+	var out []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, g := range f.Comments {
+				groupEnd := prog.Fset.Position(g.End()).Line
+				for _, c := range g.List {
+					next := false
+					switch {
+					case strings.HasPrefix(c.Text, "// want-next "):
+						next = true
+					case strings.HasPrefix(c.Text, "// want "):
+					default:
+						continue
+					}
+					p := prog.Fset.Position(c.Pos())
+					lineMin, lineMax := p.Line, p.Line
+					if next {
+						lineMin, lineMax = p.Line+1, groupEnd
+					}
+					for _, q := range quoted.FindAllString(c.Text, -1) {
+						s, err := strconv.Unquote(q)
+						if err != nil {
+							continue
+						}
+						out = append(out, &expectation{file: p.Filename, lineMin: lineMin, lineMax: lineMax, substr: s})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
