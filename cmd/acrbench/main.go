@@ -2,14 +2,27 @@
 //
 // Usage:
 //
-//	acrbench [-exp all|tableI|fig1|fig6|fig7|fig8|fig9|tableII|fig10|fig11|fig12|fig13|scal|strategies]
+//	acrbench [-exp all|quick|tableI|fig1|fig6|fig7|fig8|fig9|tableII|fig10|fig11|fig12|fig13|scal|strategies]
 //	         [-threads N] [-class S|W|A] [-j N] [-workers N]
 //	         [-strategy-benches is,cg,mg] [-strategy-cores 4,8]
 //	         [-strategy-errors 1] [-strategy-json matrix.json]
+//	         [-serve ADDR] [-journal runs.jsonl] [-linger DUR]
 //
 // -j sizes the driver's job pool (distinct machines in flight); -workers
 // sets the intra-run worker count per machine (the deterministic parallel
 // engine, bit-identical to serial execution).
+//
+// -serve starts the HTTP observatory (internal/obsrv) on ADDR before the
+// sweep: every job registers in the live run registry, /metrics exposes the
+// aggregated telemetry, /runs/{key}/events streams each run's flight
+// recorder, and /debug/pprof replaces the old ad-hoc pprof listener (the
+// -pprof flag is a deprecated alias). -journal appends the run registry's
+// JSONL journal to a file (loading any existing entries first); -linger
+// keeps the observatory serving for the given duration after the sweep so
+// scrapers and CI smoke checks can inspect a finished process.
+//
+// -exp quick is fig6 alone — a small, checkpoint-heavy slice for smoke
+// tests; like the ablations it is not part of 'all'.
 //
 // -exp strategies crosses every checkpoint strategy (full, amnesic,
 // differential, tiered, auto) with the -strategy-benches workloads and
@@ -26,8 +39,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -36,6 +47,7 @@ import (
 	"time"
 
 	"acr/internal/bench"
+	"acr/internal/obsrv"
 	"acr/internal/stats"
 	"acr/internal/telemetry"
 	"acr/internal/workloads"
@@ -54,15 +66,15 @@ func main() {
 	stratErrors := flag.Int("strategy-errors", 1, "injected errors in the _E cells of -exp strategies")
 	stratJSON := flag.String("strategy-json", "", "write the strategy matrix as JSON to this file")
 	metricsDir := flag.String("metrics-dir", "", "write driver metrics (driver.prom, driver.json) into this directory")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve the HTTP observatory (/metrics, /runs, /debug/pprof) on this address (e.g. localhost:6060, :0)")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -serve (pprof now lives under the observatory)")
+	journalPath := flag.String("journal", "", "append the run registry's JSONL journal to this file (requires -serve)")
+	linger := flag.Duration("linger", 0, "keep the observatory serving this long after the sweep finishes")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "acrbench: pprof:", err)
-			}
-		}()
+	if *serveAddr == "" && *pprofAddr != "" {
+		fmt.Fprintln(os.Stderr, "acrbench: -pprof is deprecated, serving the full observatory (use -serve)")
+		*serveAddr = *pprofAddr
 	}
 
 	cl, err := workloads.ClassByName(*class)
@@ -76,6 +88,39 @@ func main() {
 	if r.SimWorkers == 0 {
 		r.SimWorkers = runtime.GOMAXPROCS(0)
 	}
+
+	var registry *obsrv.Registry
+	if *serveAddr != "" {
+		registry, err = obsrv.NewRegistry(obsrv.Options{JournalPath: *journalPath})
+		if err != nil {
+			fatal(err)
+		}
+		defer registry.Close()
+		if *journalPath != "" {
+			// Fold any previous process's journal in first, so /runs
+			// shows the sweep's history across restarts.
+			if err := registry.LoadJournal(*journalPath); err != nil {
+				fatal(err)
+			}
+		}
+		server := obsrv.NewServer(registry)
+		addr, err := server.Start(*serveAddr)
+		if err != nil {
+			fatal(err) // fail fast: a bad -serve address kills the run before any simulation
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "acrbench: observatory listening on http://%s\n", addr)
+		r.Lifecycle = registry
+		defer func() {
+			if p := recover(); p != nil {
+				fmt.Fprintln(os.Stderr, "acrbench: panic — dumping flight recorders:")
+				registry.DumpFlight(func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format, args...)
+				})
+				panic(p)
+			}
+		}()
+	}
 	start := time.Now()
 
 	type gen func() (*stats.Table, error)
@@ -83,6 +128,7 @@ func main() {
 		name string
 		run  gen
 	}{
+		{"quick", func() (*stats.Table, error) { return r.Fig6(p) }},
 		{"tableI", func() (*stats.Table, error) { return bench.TableI(), nil }},
 		{"fig1", func() (*stats.Table, error) { return bench.Fig1(10), nil }},
 		{"fig6", func() (*stats.Table, error) { return r.Fig6(p) }},
@@ -132,8 +178,9 @@ func main() {
 	for _, e := range experiments {
 		isAblation := strings.HasPrefix(e.name, "abl-")
 		// The strategy matrix is its own grid (it ignores -threads), so
-		// 'all' — the paper set — does not imply it.
-		isExtra := isAblation || e.name == "strategies"
+		// 'all' — the paper set — does not imply it; 'quick' is a smoke
+		// slice, also opt-in only.
+		isExtra := isAblation || e.name == "strategies" || e.name == "quick"
 		switch {
 		case want[e.name]:
 		case want["all"] && !isExtra:
@@ -164,6 +211,10 @@ func main() {
 		if err := writeDriverMetrics(*metricsDir, r.Reports(), elapsed, *exp, p); err != nil {
 			fatal(err)
 		}
+	}
+	if registry != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "acrbench: sweep done, observatory lingering for %v\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -1,0 +1,136 @@
+// Command acrreport joins two benchmark or telemetry artifacts and emits a
+// per-metric delta table with regression gating: exit status 1 when any
+// metric crossed the threshold in its worse direction. It turns BENCH_N
+// trajectory checks — and metrics/profile drift checks — into a CI tool
+// instead of eyeballing.
+//
+// Usage:
+//
+//	acrreport [-threshold 0.05] [-metrics allocs_per_op,instrs]
+//	          [-json] [-require-match] OLD NEW
+//
+// OLD and NEW are either two BENCH_*.json documents (rows join on name,
+// fields compare under their improvement direction: ns_per_op up is a
+// regression, sim_mips down is, instrs any drift), or two run-profile JSON
+// files / directories of them (profiles join on canonicalised meta, any
+// drift beyond the threshold regresses — the simulator is deterministic).
+//
+//	acrreport -metrics allocs_per_op,instrs -threshold 0.5 BENCH_6.json /tmp/bench.json
+//	acrreport -threshold 0 profiles_before/ profiles_after/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acr/internal/report"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.05, "relative regression threshold (0.05 = 5%)")
+	metrics := flag.String("metrics", "", "comma-separated metric (bench field / family) allowlist; empty = all")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	requireMatch := flag.Bool("require-match", false, "count unmatched join keys as regressions")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "acrreport: want exactly two artifacts: OLD NEW")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+
+	opt := report.Options{Threshold: *threshold, RequireMatch: *requireMatch}
+	for _, m := range strings.Split(*metrics, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			opt.Metrics = append(opt.Metrics, m)
+		}
+	}
+
+	oldKind, err := detect(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newKind, err := detect(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if oldKind != newKind {
+		fatal(fmt.Errorf("artifact kinds differ: %s is %s, %s is %s", oldPath, oldKind, newPath, newKind))
+	}
+
+	var rep *report.Report
+	switch oldKind {
+	case "bench":
+		oldDoc, err := report.LoadBench(oldPath)
+		if err != nil {
+			fatal(err)
+		}
+		newDoc, err := report.LoadBench(newPath)
+		if err != nil {
+			fatal(err)
+		}
+		rep = report.DiffBench(oldDoc, newDoc, opt)
+	case "profiles":
+		oldSet, err := report.LoadProfiles(oldPath)
+		if err != nil {
+			fatal(err)
+		}
+		newSet, err := report.LoadProfiles(newPath)
+		if err != nil {
+			fatal(err)
+		}
+		rep = report.DiffProfiles(oldSet, newSet, opt)
+	}
+
+	if *asJSON {
+		err = rep.RenderJSON(os.Stdout)
+	} else {
+		err = rep.Render(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// detect classifies an artifact path: directories are profile sets, files
+// are sniffed for the BENCH "results" array vs the profile "families"
+// array.
+func detect(path string) (string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if info.IsDir() {
+		return "profiles", nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Results  []json.RawMessage `json:"results"`
+		Families []json.RawMessage `json:"families"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case len(probe.Results) > 0:
+		return "bench", nil
+	case len(probe.Families) > 0:
+		return "profiles", nil
+	}
+	return "", fmt.Errorf("%s: neither a BENCH_*.json document (results) nor a run profile (families)", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acrreport:", err)
+	os.Exit(1)
+}

@@ -1,14 +1,18 @@
 // Command tracecheck validates telemetry artifacts produced by acrsim and
 // acrbench: Chrome trace-event JSON, Prometheus text expositions and JSON
-// run profiles. CI's smoke step runs it against fresh artifacts; exit
-// status 1 means a malformed file.
+// run profiles. CI's smoke step runs it against fresh artifacts.
 //
 // Usage:
 //
-//	tracecheck [-trace out.json] [-metrics out.prom] [-profile profile.json]
+//	tracecheck [-json] [-trace out.json] [-metrics out.prom] [-profile profile.json]
+//
+// Every requested artifact is checked even after a failure, so one run
+// reports them all; -json emits the per-artifact results as a JSON array.
+// Exit status is 1 when any check failed, 2 when nothing was requested.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,10 +20,23 @@ import (
 	"acr/internal/telemetry"
 )
 
+// result is one artifact's validation outcome.
+type result struct {
+	Kind string `json:"kind"`
+	Path string `json:"path"`
+	OK   bool   `json:"ok"`
+	// Count is the validated unit count: trace events, exposition samples
+	// or profile families.
+	Count    int    `json:"count"`
+	Families int    `json:"families,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
 	metricsPath := flag.String("metrics", "", "Prometheus exposition file to validate")
 	profilePath := flag.String("profile", "", "JSON run profile to validate")
+	asJSON := flag.Bool("json", false, "emit per-artifact results as JSON")
 	flag.Parse()
 
 	if *tracePath == "" && *metricsPath == "" && *profilePath == "" {
@@ -27,47 +44,75 @@ func main() {
 		os.Exit(2)
 	}
 
+	var results []result
 	if *tracePath != "" {
-		n := check(*tracePath, func(f *os.File) (int, error) {
-			return telemetry.ValidateTrace(f)
-		})
-		fmt.Printf("trace    %s: %d events ok\n", *tracePath, n)
+		results = append(results, check("trace", *tracePath, func(f *os.File) (int, int, error) {
+			n, err := telemetry.ValidateTrace(f)
+			return n, 0, err
+		}))
 	}
 	if *metricsPath != "" {
-		var st telemetry.ExpositionStats
-		check(*metricsPath, func(f *os.File) (int, error) {
-			var err error
-			st, err = telemetry.ParseExposition(f)
-			return st.Samples, err
-		})
-		fmt.Printf("metrics  %s: %d families, %d samples ok\n", *metricsPath, st.Families, st.Samples)
+		results = append(results, check("metrics", *metricsPath, func(f *os.File) (int, int, error) {
+			st, err := telemetry.ParseExposition(f)
+			return st.Samples, st.Families, err
+		}))
 	}
 	if *profilePath != "" {
-		n := check(*profilePath, func(f *os.File) (int, error) {
+		results = append(results, check("profile", *profilePath, func(f *os.File) (int, int, error) {
 			p, err := telemetry.ReadProfile(f)
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
-			return len(p.Families), nil
-		})
-		fmt.Printf("profile  %s: %d families ok\n", *profilePath, n)
+			return len(p.Families), len(p.Families), nil
+		}))
+	}
+
+	failed := false
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			failed = failed || !r.OK
+		}
+	} else {
+		for _, r := range results {
+			if !r.OK {
+				failed = true
+				fmt.Printf("%-8s %s: FAILED: %s\n", r.Kind, r.Path, r.Error)
+				continue
+			}
+			switch r.Kind {
+			case "trace":
+				fmt.Printf("trace    %s: %d events ok\n", r.Path, r.Count)
+			case "metrics":
+				fmt.Printf("metrics  %s: %d families, %d samples ok\n", r.Path, r.Families, r.Count)
+			case "profile":
+				fmt.Printf("profile  %s: %d families ok\n", r.Path, r.Count)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
-func check(path string, validate func(*os.File) (int, error)) int {
+func check(kind, path string, validate func(*os.File) (int, int, error)) result {
+	r := result{Kind: kind, Path: path}
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		r.Error = err.Error()
+		return r
 	}
 	defer f.Close()
-	n, err := validate(f)
+	n, fams, err := validate(f)
 	if err != nil {
-		fatal(fmt.Errorf("%s: %w", path, err))
+		r.Error = err.Error()
+		return r
 	}
-	return n
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracecheck:", err)
-	os.Exit(1)
+	r.OK, r.Count, r.Families = true, n, fams
+	return r
 }

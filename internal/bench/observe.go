@@ -22,21 +22,28 @@ import (
 // cached run used the parallel engine, comparing the replayed Result against
 // the cached one cross-checks workers>1 against workers=1 — a divergence is
 // a parallel-determinism bug the caller must surface, not export around.
-func (r *Runner) RunObserved(benchName string, p Params, spec Spec, obs ...sim.Observer) (sim.Result, error) {
-	bench, err := workloads.ByName(benchName)
-	if err != nil {
-		return sim.Result{}, err
+// A runner with a Lifecycle attached additionally registers the observed
+// job: the lifecycle's observers join the replay (seeing exactly the
+// converged execution) and JobEnd receives the replayed Result.
+func (r *Runner) RunObserved(benchName string, p Params, spec Spec, obs ...sim.Observer) (res sim.Result, err error) {
+	bench, berr := workloads.ByName(benchName)
+	if berr != nil {
+		return sim.Result{}, berr
+	}
+	if token := r.beginJob(Job{Bench: benchName, Params: p, Spec: spec}); token != nil {
+		obs = append(append([]sim.Observer(nil), token.Observers()...), obs...)
+		defer func() { token.JobEnd(res, err) }()
 	}
 	if !spec.Ckpt {
 		return r.execute(bench, p, spec, 1, 0, 0, 0, obs...)
 	}
-	res, err := r.Run(benchName, p, spec)
-	if err != nil {
-		return sim.Result{}, err
+	calibrated, cerr := r.Run(benchName, p, spec)
+	if cerr != nil {
+		return sim.Result{}, cerr
 	}
 	n := spec.NumCkpts
 	if n == 0 {
 		n = DefaultNumCkpts
 	}
-	return r.execute(bench, p, spec, 1, res.PeriodCycles, int64(n), res.ROIStartCycles, obs...)
+	return r.execute(bench, p, spec, 1, calibrated.PeriodCycles, int64(n), calibrated.ROIStartCycles, obs...)
 }

@@ -73,7 +73,15 @@ func (r *Runner) RunAll(jobs []Job) ([]sim.Result, error) {
 		j := jobs[i]
 		t0 := time.Now() //acr:wallclock-ok per-job wall profiling only; never reaches results
 		shared := r.hasEntry(j.key())
-		results[i], errs[i] = r.Run(j.Bench, j.Params, j.Spec)
+		var obs []sim.Observer
+		token := r.beginJob(j)
+		if token != nil {
+			obs = token.Observers()
+		}
+		results[i], errs[i] = r.runWith(j.Bench, j.Params, j.Spec, obs...)
+		if token != nil {
+			token.JobEnd(results[i], errs[i])
+		}
 		reports[i] = JobReport{
 			Job:       j,
 			QueueWait: t0.Sub(start),

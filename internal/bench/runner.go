@@ -178,6 +178,16 @@ type Runner struct {
 	//acr:memo-exempt
 	SimWorkers int
 
+	// Lifecycle, when non-nil, receives job begin/end notifications from
+	// RunAll and RunObserved and may attach observers to executions (the
+	// live run registry in internal/obsrv rides on it). Observation is
+	// strictly one-way — observers cannot change simulated results, so
+	// the hook stays outside the memo key and a cache warmed with a
+	// lifecycle attached serves runs without one, bit-identically.
+	//
+	//acr:memo-exempt
+	Lifecycle Lifecycle
+
 	mu      sync.Mutex
 	cache   map[runKey]*runEntry
 	reports []JobReport
@@ -201,9 +211,18 @@ func NewRunner() *Runner {
 // calibrating against its NoCkpt baseline) nest through distinct cache
 // entries, so the once gates cannot deadlock.
 func (r *Runner) Run(benchName string, p Params, spec Spec) (sim.Result, error) {
+	return r.runWith(benchName, p, spec)
+}
+
+// runWith is Run with observers attached to every execution performed for
+// the key (calibration attempts included; dependent baseline runs are
+// their own keys and stay unobserved). Only the caller that wins the once
+// gate attaches its observers — concurrent requests for an in-flight key
+// share the result, not the event stream.
+func (r *Runner) runWith(benchName string, p Params, spec Spec, obs ...sim.Observer) (sim.Result, error) {
 	spec = spec.normalized()
 	e := r.entry(runKey{benchName, p.Threads, p.Class.Name, spec})
-	e.once.Do(func() { e.res, e.err = r.run(benchName, p, spec) })
+	e.once.Do(func() { e.res, e.err = r.run(benchName, p, spec, obs...) })
 	return e.res, e.err
 }
 
@@ -223,13 +242,13 @@ func (r *Runner) Baseline(benchName string, p Params) (sim.Result, error) {
 	return r.Run(benchName, p, NoCkpt)
 }
 
-func (r *Runner) run(benchName string, p Params, spec Spec) (sim.Result, error) {
+func (r *Runner) run(benchName string, p Params, spec Spec, obs ...sim.Observer) (sim.Result, error) {
 	bench, err := workloads.ByName(benchName)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	if !spec.Ckpt {
-		return r.execute(bench, p, spec, r.SimWorkers, 0, 0, 0)
+		return r.execute(bench, p, spec, r.SimWorkers, 0, 0, 0, obs...)
 	}
 
 	// The paper fixes the number of checkpoints per run and distributes
@@ -254,7 +273,7 @@ func (r *Runner) run(benchName string, p Params, spec Spec) (sim.Result, error) 
 		if period < 1 {
 			period = 1
 		}
-		res, err = r.execute(bench, p, spec, r.SimWorkers, period, int64(n), roi)
+		res, err = r.execute(bench, p, spec, r.SimWorkers, period, int64(n), roi, obs...)
 		if err != nil {
 			return sim.Result{}, err
 		}

@@ -1,0 +1,81 @@
+package obsrv
+
+import (
+	"testing"
+
+	"acr/internal/sim"
+)
+
+func ev(t int64) sim.Event {
+	return sim.Event{Time: t, Kind: sim.EvCheckpoint, Core: -1}
+}
+
+func TestFlightRingBeforeWrap(t *testing.T) {
+	f := newFlightRing(4)
+	for i := int64(1); i <= 3; i++ {
+		f.push(ev(i))
+	}
+	events, last, missed := f.since(0)
+	if len(events) != 3 || last != 3 || missed != 0 {
+		t.Fatalf("since(0): got %d events last=%d missed=%d, want 3/3/0", len(events), last, missed)
+	}
+	for i, e := range events {
+		if e.Time != int64(i+1) {
+			t.Fatalf("event %d: Time=%d, want %d", i, e.Time, i+1)
+		}
+	}
+	if f.oldest() != 0 {
+		t.Fatalf("oldest=%d, want 0", f.oldest())
+	}
+}
+
+func TestFlightRingWrapEvicts(t *testing.T) {
+	f := newFlightRing(4)
+	for i := int64(1); i <= 6; i++ {
+		f.push(ev(i))
+	}
+	if f.seq != 6 || f.oldest() != 2 {
+		t.Fatalf("seq=%d oldest=%d, want 6/2", f.seq, f.oldest())
+	}
+	events, last, missed := f.since(0)
+	if len(events) != 4 || last != 6 || missed != 2 {
+		t.Fatalf("since(0): got %d events last=%d missed=%d, want 4/6/2", len(events), last, missed)
+	}
+	// Retained events are the most recent four, in recording order.
+	for i, e := range events {
+		if e.Time != int64(i+3) {
+			t.Fatalf("event %d: Time=%d, want %d", i, e.Time, i+3)
+		}
+	}
+}
+
+func TestFlightRingCursors(t *testing.T) {
+	f := newFlightRing(4)
+	for i := int64(1); i <= 6; i++ {
+		f.push(ev(i))
+	}
+	// Cursor inside the retained window: no misses, only the tail.
+	events, last, missed := f.since(4)
+	if len(events) != 2 || last != 6 || missed != 0 {
+		t.Fatalf("since(4): got %d events last=%d missed=%d, want 2/6/0", len(events), last, missed)
+	}
+	if events[0].Time != 5 || events[1].Time != 6 {
+		t.Fatalf("since(4): got times %d,%d, want 5,6", events[0].Time, events[1].Time)
+	}
+	// Cursor at the head: nothing new, cursor unchanged.
+	events, last, missed = f.since(6)
+	if len(events) != 0 || last != 6 || missed != 0 {
+		t.Fatalf("since(6): got %d events last=%d missed=%d, want 0/6/0", len(events), last, missed)
+	}
+	// Cursor beyond the head (stale reader of a reset stream): same.
+	if events, last, _ := f.since(99); len(events) != 0 || last != 99 {
+		t.Fatalf("since(99): got %d events last=%d, want 0/99", len(events), last)
+	}
+}
+
+func TestFlightRingDefaultCap(t *testing.T) {
+	f := newFlightRing(0)
+	if cap(f.buf) != DefaultFlightCap {
+		t.Fatalf("cap=%d, want DefaultFlightCap=%d", cap(f.buf), DefaultFlightCap)
+	}
+}

@@ -1,0 +1,275 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"acr/internal/telemetry"
+)
+
+// Server is the embeddable HTTP observatory over a run registry.
+//
+// Endpoints:
+//
+//	GET /healthz             liveness: "ok" plus run counts
+//	GET /metrics             live Prometheus exposition, aggregated across
+//	                         runs (every per-run family gains a run="key"
+//	                         label; observatory-level families describe the
+//	                         registry itself)
+//	GET /runs                all run records (JSON, registration order,
+//	                         without metric snapshots)
+//	GET /runs/{key}          one full record: summary, metrics snapshot,
+//	                         histogram quantiles (key may contain slashes)
+//	GET /runs/{key}/events   SSE stream of flight-recorder events; closes
+//	                         with "event: done" once the run finishes and
+//	                         the stream is drained
+//	GET /debug/pprof/...     the standard pprof handlers (replacing the
+//	                         former ad-hoc DefaultServeMux listener)
+type Server struct {
+	reg  *Registry
+	mux  *http.ServeMux
+	srv  *http.Server
+	ln   net.Listener
+	base time.Time
+
+	scrapes atomic.Int64
+
+	// pollInterval paces the SSE poll loop; tests shrink it.
+	pollInterval time.Duration
+}
+
+// NewServer builds an observatory over reg. Call Start (or mount Handler
+// in an existing server) to serve it.
+func NewServer(reg *Registry) *Server {
+	s := &Server{
+		reg:          reg,
+		mux:          http.NewServeMux(),
+		base:         time.Now(),
+		pollInterval: 25 * time.Millisecond,
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/runs", s.handleRuns)
+	s.mux.HandleFunc("/runs/", s.handleRun)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the observatory's routing handler, for mounting into an
+// existing HTTP server (the future acrd daemon).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr and serves in the background. The bind itself is
+// synchronous — an unusable address fails here, not in a goroutine log
+// line — and the bound address (useful with ":0") is returned. Serve-loop
+// errors after a successful bind are reported on stderr.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsrv: bind %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "obsrv: serve: %v\n", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener; in-flight handlers are abandoned (the
+// observatory holds no state worth draining for).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := s.reg.CountByStatus()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok running=%d done=%d failed=%d interrupted=%d\n",
+		counts[StatusRunning], counts[StatusDone], counts[StatusFailed], counts[StatusInterrupted])
+}
+
+// handleMetrics renders one merged exposition: observatory-level families
+// plus every run's registry imported under a run="key" label. Counters
+// stay counters across scrapes because each run's registry is cumulative;
+// the merge itself is rebuilt per scrape from immutable snapshots.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scrapes.Add(1)
+	agg := telemetry.NewRegistry()
+	agg.Gauge("acr_observatory_uptime_seconds", "Observatory wall time since start.").
+		Set(time.Since(s.base).Seconds())
+	agg.Counter("acr_observatory_scrapes_total", "Scrapes of /metrics since start.").
+		Add(float64(s.scrapes.Load()))
+	runsG := agg.Gauge("acr_observatory_runs", "Registered runs by lifecycle status.", "status")
+	counts := s.reg.CountByStatus()
+	for _, st := range []Status{StatusRunning, StatusDone, StatusFailed, StatusInterrupted} {
+		runsG.With(string(st)).Set(float64(counts[st]))
+	}
+	eventsG := agg.Gauge("acr_observatory_flight_events", "Flight-recorder events recorded per run.", "run")
+
+	for _, rec := range s.reg.Runs() {
+		full, ok := s.reg.Get(rec.Key)
+		if !ok {
+			continue
+		}
+		eventsG.With(rec.Key).Set(float64(full.EventsSeen))
+		if err := agg.ImportSnapshot(full.Metrics, "run", rec.Key); err != nil {
+			http.Error(w, fmt.Sprintf("aggregate %s: %v", rec.Key, err), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := agg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.reg.Runs())
+}
+
+// HistogramQuantiles is the derived per-histogram summary /runs/{key}
+// attaches next to the raw snapshot.
+type HistogramQuantiles struct {
+	Family      string   `json:"family"`
+	LabelValues []string `json:"label_values,omitempty"`
+	Count       uint64   `json:"count"`
+	Sum         float64  `json:"sum"`
+	P50         float64  `json:"p50"`
+	P90         float64  `json:"p90"`
+	P99         float64  `json:"p99"`
+}
+
+// runResponse is the /runs/{key} document.
+type runResponse struct {
+	RunRecord
+	Quantiles []HistogramQuantiles `json:"histogram_quantiles,omitempty"`
+}
+
+// handleRun serves /runs/{key} and /runs/{key}/events. Keys contain
+// slashes (bench/threads/class/config), so the path is parsed by suffix
+// rather than by segment.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/runs/")
+	if rest, ok := strings.CutSuffix(key, "/events"); ok {
+		s.serveEvents(w, r, rest)
+		return
+	}
+	rec, ok := s.reg.Get(key)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown run %q", key), http.StatusNotFound)
+		return
+	}
+	resp := runResponse{RunRecord: rec}
+	for _, f := range rec.Metrics {
+		if f.Kind != "histogram" {
+			continue
+		}
+		for _, series := range f.Series {
+			hq := HistogramQuantiles{
+				Family:      f.Name,
+				LabelValues: series.LabelValues,
+				Count:       series.Count,
+				Sum:         series.Sum,
+			}
+			// An empty histogram quantiles to 0 (the ok=false case):
+			// zeros keep the JSON finite and are unambiguous next to
+			// Count=0.
+			hq.P50, _ = telemetry.HistQuantile(f.Buckets, series.BucketCounts, 0.50)
+			hq.P90, _ = telemetry.HistQuantile(f.Buckets, series.BucketCounts, 0.90)
+			hq.P99, _ = telemetry.HistQuantile(f.Buckets, series.BucketCounts, 0.99)
+			resp.Quantiles = append(resp.Quantiles, hq)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// serveEvents streams the run's flight recorder as server-sent events:
+// each event is one `data:` JSON line with its absolute sequence number as
+// the SSE id. The stream replays the retained ring, then follows the live
+// run; when the run leaves StatusRunning and the ring is drained it emits
+// `event: done` and closes. `?after=N` resumes past a previous cursor.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, key string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	cursor := uint64(0)
+	if after := r.URL.Query().Get("after"); after != "" {
+		n, err := strconv.ParseUint(after, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad after cursor %q", after), http.StatusBadRequest)
+			return
+		}
+		cursor = n
+	}
+	if _, _, _, _, ok := s.reg.Events(key, cursor); !ok {
+		http.Error(w, fmt.Sprintf("unknown run %q", key), http.StatusNotFound)
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	for {
+		events, last, missed, status, ok := s.reg.Events(key, cursor)
+		if !ok {
+			return
+		}
+		if missed > 0 {
+			fmt.Fprintf(w, "event: gap\ndata: {\"evicted\": %d}\n\n", missed)
+		}
+		for _, ev := range viewEvents(events, last) {
+			fmt.Fprintf(w, "id: %d\ndata: ", ev.Seq)
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			fmt.Fprint(w, "\n")
+		}
+		if len(events) > 0 {
+			cursor = last
+			flusher.Flush()
+		}
+		if status != StatusRunning {
+			fmt.Fprintf(w, "event: done\ndata: {\"status\": %q, \"last_seq\": %d}\n\n", status, cursor)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(s.pollInterval):
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

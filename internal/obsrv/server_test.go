@@ -1,0 +1,203 @@
+package obsrv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"acr/internal/sim"
+	"acr/internal/telemetry"
+)
+
+// populated returns a registry with one finished, event-bearing run plus
+// its server, and the run's key.
+func populated(t *testing.T) (*Server, string) {
+	t.Helper()
+	g, err := NewRegistry(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob()
+	key := j.KeyString()
+	token := g.JobBegin(j, key, false)
+	feed(token.Observers(),
+		sim.Event{Time: 10, Kind: sim.EvCheckpoint, Core: -1, Detail: 64, Dur: 4},
+		sim.Event{Time: 20, Kind: sim.EvBarrier, Core: 0, Dur: 2},
+		sim.Event{Time: 20, Kind: sim.EvBarrier, Core: 1, Dur: 2},
+	)
+	token.JobEnd(sim.Result{Cycles: 100, Instrs: 50, EnergyPJ: 10}, nil)
+	s := NewServer(g)
+	s.pollInterval = time.Millisecond
+	return s, key
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerHealthz(t *testing.T) {
+	s, _ := populated(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok ") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if !strings.Contains(body, "done=1") {
+		t.Fatalf("healthz should count the finished run: %q", body)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	s, key := populated(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d\n%s", code, body)
+	}
+	if _, err := telemetry.ParseExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, body)
+	}
+	samples, err := telemetry.ParseSamples(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observatory-level families plus the run's metrics under a run label.
+	var sawScrapes, sawRunLabel bool
+	for _, sm := range samples {
+		if sm.Name == "acr_observatory_scrapes_total" && sm.Value >= 1 {
+			sawScrapes = true
+		}
+		for _, l := range sm.Labels {
+			if l.Name == "run" && l.Value == key {
+				sawRunLabel = true
+			}
+		}
+	}
+	if !sawScrapes || !sawRunLabel {
+		t.Fatalf("metrics lack observatory families (%v) or run-labelled series (%v):\n%s",
+			sawScrapes, sawRunLabel, body)
+	}
+}
+
+func TestServerRuns(t *testing.T) {
+	s, key := populated(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/runs")
+	if code != http.StatusOK {
+		t.Fatalf("runs: %d", code)
+	}
+	var runs []RunRecord
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs: %v\n%s", err, body)
+	}
+	if len(runs) != 1 || runs[0].Key != key || runs[0].Status != StatusDone {
+		t.Fatalf("/runs: %+v", runs)
+	}
+	if len(runs[0].Metrics) != 0 {
+		t.Fatal("/runs must not inline metric snapshots")
+	}
+
+	code, body = get(t, srv, "/runs/"+key)
+	if code != http.StatusOK {
+		t.Fatalf("run: %d", code)
+	}
+	var rec struct {
+		RunRecord
+		Quantiles []HistogramQuantiles `json:"histogram_quantiles"`
+	}
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("/runs/{key}: %v\n%s", err, body)
+	}
+	if rec.Summary == nil || rec.Summary.Cycles != 100 {
+		t.Fatalf("/runs/{key} summary: %+v", rec.Summary)
+	}
+	if len(rec.Metrics) == 0 {
+		t.Fatal("/runs/{key} should include the metrics snapshot")
+	}
+	if len(rec.Quantiles) == 0 {
+		t.Fatal("/runs/{key} should derive histogram quantiles")
+	}
+
+	if code, _ := get(t, srv, "/runs/no/such/key"); code != http.StatusNotFound {
+		t.Fatalf("unknown run: %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/runs/no/such/key/events"); code != http.StatusNotFound {
+		t.Fatalf("unknown run events: %d, want 404", code)
+	}
+}
+
+func TestServerEventsSSE(t *testing.T) {
+	s, key := populated(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// The run is finished, so the stream replays the ring, emits done and
+	// closes — a plain GET terminates.
+	resp, err := srv.Client().Get(srv.URL + "/runs/" + key + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type=%q", ct)
+	}
+
+	var dataLines []EventView
+	var sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: {\"seq\"") {
+			var ev EventView
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+			dataLines = append(dataLines, ev)
+		}
+		if line == "event: done" {
+			sawDone = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dataLines) != 3 || !sawDone {
+		t.Fatalf("SSE: %d events, done=%v, want 3 events and a done frame", len(dataLines), sawDone)
+	}
+	if dataLines[0].Seq != 1 || dataLines[0].Kind != "checkpoint" {
+		t.Fatalf("first event: %+v", dataLines[0])
+	}
+
+	// Resuming past a cursor skips the replayed prefix.
+	resp2, err := srv.Client().Get(srv.URL + "/runs/" + key + "/events?after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if n := bytes.Count(body, []byte("data: {\"seq\"")); n != 1 {
+		t.Fatalf("after=2: %d events, want 1:\n%s", n, body)
+	}
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchDirections maps BENCH row fields to their improvement direction.
+// Fields absent here (and any future numeric field) default to AnyChange —
+// a conservative choice for a regression gate. The "n" iteration count is
+// harness bookkeeping, not a metric.
+var benchDirections = map[string]Direction{
+	"ns_per_op":         HigherWorse,
+	"allocs_per_op":     HigherWorse,
+	"bytes_per_op":      HigherWorse,
+	"allocs_per_kinstr": HigherWorse,
+	"sim_mips":          LowerWorse,
+	"instrs":            AnyChange,
+}
+
+var benchSkipFields = map[string]bool{"n": true}
+
+// BenchDoc is a loaded BENCH_*.json document reduced to its comparison
+// surface: the result rows, keyed by row name, with every numeric field as
+// a metric.
+type BenchDoc struct {
+	Path string
+	// Rows maps row name → metric name → value.
+	Rows map[string]map[string]float64
+}
+
+// LoadBench reads a BENCH_*.json document (the bench emitter's schema) and
+// extracts its "results" rows. The row schema is discovered dynamically:
+// any numeric field is a metric, so the differ keeps working as emitters
+// grow fields.
+func LoadBench(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results rows (not a BENCH_*.json artifact?)", path)
+	}
+	out := &BenchDoc{Path: path, Rows: make(map[string]map[string]float64, len(doc.Results))}
+	for i, row := range doc.Results {
+		name, _ := row["name"].(string)
+		if name == "" {
+			return nil, fmt.Errorf("%s: results[%d] has no name", path, i)
+		}
+		metrics := make(map[string]float64)
+		for field, v := range row {
+			f, ok := v.(float64)
+			if !ok || benchSkipFields[field] {
+				continue
+			}
+			metrics[field] = f
+		}
+		out.Rows[name] = metrics
+	}
+	return out, nil
+}
+
+// DiffBench compares two BENCH documents row-by-row.
+func DiffBench(oldDoc, newDoc *BenchDoc, opt Options) *Report {
+	r := &Report{Mode: "bench", Threshold: opt.Threshold}
+	names := make([]string, 0, len(oldDoc.Rows))
+	for name := range oldDoc.Rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oldRow := oldDoc.Rows[name]
+		newRow, ok := newDoc.Rows[name]
+		if !ok {
+			r.OnlyOld = append(r.OnlyOld, name)
+			continue
+		}
+		metrics := make([]string, 0, len(oldRow))
+		for m := range oldRow {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			newV, ok := newRow[m]
+			if !ok || !opt.wants(m) {
+				continue
+			}
+			dir, known := benchDirections[m]
+			if !known {
+				dir = AnyChange
+			}
+			r.Rows = append(r.Rows, compare(name, m, oldRow[m], newV, dir, opt.Threshold))
+		}
+	}
+	for name := range newDoc.Rows {
+		if _, ok := oldDoc.Rows[name]; !ok {
+			r.OnlyNew = append(r.OnlyNew, name)
+		}
+	}
+	r.finish(opt)
+	return r
+}

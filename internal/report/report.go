@@ -1,0 +1,203 @@
+// Package report joins two benchmark or telemetry artifacts on their
+// deterministic keys and emits a per-metric delta table with regression
+// gating — the tooling behind cmd/acrreport, which turns "eyeball the
+// BENCH_N.json trajectory" into an exit-code check.
+//
+// Two artifact shapes are supported:
+//
+//   - BENCH_*.json documents (the bench-regression emitter's schema): rows
+//     join on their benchmark name, numeric row fields are the metrics,
+//     and each metric carries a known improvement direction (ns_per_op up
+//     is a regression, sim_mips down is).
+//   - Run-profile JSON files or directories of them (telemetry.Profile):
+//     profiles join on their canonicalised meta, series flatten to
+//     name{labels} samples, histograms additionally expose _count, _sum
+//     and interpolated p50/p99. Simulated results are deterministic, so
+//     any drift beyond the threshold counts as a regression (AnyChange).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"acr/internal/stats"
+)
+
+// Direction classifies how a metric's delta maps to "regressed".
+type Direction int
+
+// Directions.
+const (
+	// HigherWorse flags relative increases beyond the threshold
+	// (latencies, allocation counts).
+	HigherWorse Direction = iota
+	// LowerWorse flags relative decreases beyond the threshold
+	// (throughput such as sim_mips).
+	LowerWorse
+	// AnyChange flags drift in either direction beyond the threshold
+	// (deterministic quantities such as instruction counts).
+	AnyChange
+)
+
+func (d Direction) String() string {
+	switch d {
+	case HigherWorse:
+		return "higher-worse"
+	case LowerWorse:
+		return "lower-worse"
+	case AnyChange:
+		return "any-change"
+	}
+	return "direction"
+}
+
+// Row is one (join key, metric) comparison.
+type Row struct {
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Delta is the relative change (new-old)/old; 0 when both sides are
+	// 0. When old is 0 and new is not, Delta is 0 and Appeared is set —
+	// the relative delta is undefined but the change is real.
+	Delta     float64 `json:"delta"`
+	Appeared  bool    `json:"appeared,omitempty"`
+	Direction string  `json:"direction"`
+	Regressed bool    `json:"regressed,omitempty"`
+}
+
+// Report is a full comparison.
+type Report struct {
+	Mode      string   `json:"mode"`
+	Threshold float64  `json:"threshold"`
+	Rows      []Row    `json:"rows"`
+	OnlyOld   []string `json:"only_old,omitempty"`
+	OnlyNew   []string `json:"only_new,omitempty"`
+	// Regressions counts rows whose delta crossed the threshold in the
+	// metric's worse direction; acrreport exits 1 when it is non-zero.
+	Regressions int `json:"regressions"`
+}
+
+// Options tunes a comparison.
+type Options struct {
+	// Threshold is the relative-delta gate (0.05 = 5%). Zero means any
+	// change at all regresses, which is the right default only for
+	// fully deterministic metrics.
+	Threshold float64
+	// Metrics, when non-empty, restricts the comparison to metrics whose
+	// name (the row field for bench docs, the family name for profiles)
+	// is in the list.
+	Metrics []string
+	// RequireMatch makes unmatched join keys on either side count as
+	// regressions instead of notes.
+	RequireMatch bool
+}
+
+func (o Options) wants(metric string) bool {
+	if len(o.Metrics) == 0 {
+		return true
+	}
+	for _, m := range o.Metrics {
+		if m == metric {
+			return true
+		}
+	}
+	return false
+}
+
+// compare builds one Row and classifies it against the threshold.
+func compare(key, metric string, oldV, newV float64, dir Direction, threshold float64) Row {
+	r := Row{Key: key, Metric: metric, Old: oldV, New: newV, Direction: dir.String()}
+	switch {
+	case oldV == 0 && newV == 0:
+		// No change, delta 0.
+	case oldV == 0:
+		r.Appeared = true
+	default:
+		r.Delta = (newV - oldV) / math.Abs(oldV)
+	}
+	switch dir {
+	case HigherWorse:
+		r.Regressed = r.Delta > threshold || (r.Appeared && newV > 0)
+	case LowerWorse:
+		r.Regressed = r.Delta < -threshold
+	case AnyChange:
+		r.Regressed = math.Abs(r.Delta) > threshold || r.Appeared
+	}
+	return r
+}
+
+// finish sorts rows (regressions first, then key/metric), fills the
+// summary counters and applies RequireMatch.
+func (r *Report) finish(opt Options) {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		if a.Regressed != b.Regressed {
+			return a.Regressed
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Metric < b.Metric
+	})
+	sort.Strings(r.OnlyOld)
+	sort.Strings(r.OnlyNew)
+	for _, row := range r.Rows {
+		if row.Regressed {
+			r.Regressions++
+		}
+	}
+	if opt.RequireMatch {
+		r.Regressions += len(r.OnlyOld) + len(r.OnlyNew)
+	}
+}
+
+// Render writes the human-readable delta table plus a gate summary.
+func (r *Report) Render(w io.Writer) error {
+	t := &stats.Table{
+		Title: fmt.Sprintf("%s delta (threshold %.2f%%)", r.Mode, 100*r.Threshold),
+		Cols:  []string{"key", "metric", "old", "new", "delta%", "gate"},
+	}
+	for _, row := range r.Rows {
+		delta := fmt.Sprintf("%+.2f", 100*row.Delta)
+		if row.Appeared {
+			delta = "new"
+		}
+		gate := "ok"
+		if row.Regressed {
+			gate = "REGRESSED"
+		}
+		t.AddRow(row.Key, row.Metric,
+			formatNum(row.Old), formatNum(row.New), delta, gate)
+	}
+	t.Render(w)
+	for _, k := range r.OnlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", k)
+	}
+	for _, k := range r.OnlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", k)
+	}
+	if r.Regressions > 0 {
+		fmt.Fprintf(w, "\n%d regression(s) beyond %.2f%%\n", r.Regressions, 100*r.Threshold)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond %.2f%% (%d comparisons)\n", 100*r.Threshold, len(r.Rows))
+	}
+	return nil
+}
+
+// RenderJSON writes the report as indented JSON.
+func (r *Report) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,240 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acr/internal/telemetry"
+)
+
+func TestLoadBenchAndSelfDiff(t *testing.T) {
+	doc, err := LoadBench("../../BENCH_6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) == 0 {
+		t.Fatal("BENCH_6.json loaded no rows")
+	}
+	for name, row := range doc.Rows {
+		if _, ok := row["ns_per_op"]; !ok {
+			t.Fatalf("row %s lacks ns_per_op: %v", name, row)
+		}
+		if _, ok := row["n"]; ok {
+			t.Fatalf("row %s kept the harness iteration count as a metric", name)
+		}
+	}
+
+	// An artifact diffed against itself never regresses, even at
+	// threshold 0.
+	rep := DiffBench(doc, doc, Options{Threshold: 0})
+	if rep.Regressions != 0 {
+		t.Fatalf("self-diff found %d regressions", rep.Regressions)
+	}
+	if len(rep.Rows) == 0 || len(rep.OnlyOld) != 0 || len(rep.OnlyNew) != 0 {
+		t.Fatalf("self-diff shape: rows=%d onlyOld=%d onlyNew=%d",
+			len(rep.Rows), len(rep.OnlyOld), len(rep.OnlyNew))
+	}
+}
+
+// perturb deep-copies a BenchDoc and scales one metric of one row.
+func perturb(doc *BenchDoc, metric string, factor float64) *BenchDoc {
+	out := &BenchDoc{Path: doc.Path + "(perturbed)", Rows: make(map[string]map[string]float64)}
+	first := true
+	for name, row := range doc.Rows {
+		copied := make(map[string]float64, len(row))
+		for m, v := range row {
+			copied[m] = v
+		}
+		if first {
+			copied[metric] *= factor
+			first = false
+		}
+		out.Rows[name] = copied
+	}
+	return out
+}
+
+func TestDiffBenchDetectsInjectedRegression(t *testing.T) {
+	doc, err := LoadBench("../../BENCH_6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// +50% ns_per_op on one row beats any sane threshold.
+	rep := DiffBench(doc, perturb(doc, "ns_per_op", 1.5), Options{Threshold: 0.05})
+	if rep.Regressions != 1 {
+		t.Fatalf("injected +50%% ns_per_op: %d regressions, want 1", rep.Regressions)
+	}
+	if !rep.Rows[0].Regressed || rep.Rows[0].Metric != "ns_per_op" {
+		t.Fatalf("regressions should sort first: %+v", rep.Rows[0])
+	}
+
+	// A 50% ns_per_op *improvement* is not a regression (HigherWorse).
+	rep = DiffBench(doc, perturb(doc, "ns_per_op", 0.5), Options{Threshold: 0.05})
+	if rep.Regressions != 0 {
+		t.Fatalf("improvement flagged as regression: %d", rep.Regressions)
+	}
+
+	// sim_mips is LowerWorse: halving it regresses, raising it does not.
+	if rep := DiffBench(doc, perturb(doc, "sim_mips", 0.5), Options{Threshold: 0.05}); rep.Regressions != 1 {
+		t.Fatalf("sim_mips drop: %d regressions, want 1", rep.Regressions)
+	}
+	if rep := DiffBench(doc, perturb(doc, "sim_mips", 2), Options{Threshold: 0.05}); rep.Regressions != 0 {
+		t.Fatalf("sim_mips gain flagged: %d", rep.Regressions)
+	}
+
+	// instrs is AnyChange: deterministic counts may not drift either way.
+	if rep := DiffBench(doc, perturb(doc, "instrs", 1.2), Options{Threshold: 0.05}); rep.Regressions != 1 {
+		t.Fatalf("instrs drift up: want 1 regression")
+	}
+	if rep := DiffBench(doc, perturb(doc, "instrs", 0.8), Options{Threshold: 0.05}); rep.Regressions != 1 {
+		t.Fatalf("instrs drift down: want 1 regression")
+	}
+
+	// Below-threshold drift passes.
+	if rep := DiffBench(doc, perturb(doc, "ns_per_op", 1.01), Options{Threshold: 0.05}); rep.Regressions != 0 {
+		t.Fatalf("1%% drift at 5%% threshold: %d regressions", rep.Regressions)
+	}
+
+	// The metrics allowlist masks regressions outside it.
+	rep = DiffBench(doc, perturb(doc, "ns_per_op", 1.5),
+		Options{Threshold: 0.05, Metrics: []string{"allocs_per_op"}})
+	if rep.Regressions != 0 {
+		t.Fatalf("allowlisted diff still sees ns_per_op: %d", rep.Regressions)
+	}
+}
+
+func TestDiffBenchUnmatchedRows(t *testing.T) {
+	oldDoc := &BenchDoc{Rows: map[string]map[string]float64{
+		"a": {"ns_per_op": 1}, "gone": {"ns_per_op": 1},
+	}}
+	newDoc := &BenchDoc{Rows: map[string]map[string]float64{
+		"a": {"ns_per_op": 1}, "fresh": {"ns_per_op": 1},
+	}}
+	rep := DiffBench(oldDoc, newDoc, Options{})
+	if rep.Regressions != 0 || len(rep.OnlyOld) != 1 || len(rep.OnlyNew) != 1 {
+		t.Fatalf("unmatched rows are notes by default: %+v", rep)
+	}
+	rep = DiffBench(oldDoc, newDoc, Options{RequireMatch: true})
+	if rep.Regressions != 2 {
+		t.Fatalf("-require-match: %d regressions, want 2", rep.Regressions)
+	}
+}
+
+func TestCompareAppeared(t *testing.T) {
+	r := compare("k", "m", 0, 5, HigherWorse, 0.05)
+	if !r.Appeared || !r.Regressed || r.Delta != 0 {
+		t.Fatalf("0→5 higher-worse: %+v", r)
+	}
+	r = compare("k", "m", 0, 0, AnyChange, 0)
+	if r.Appeared || r.Regressed {
+		t.Fatalf("0→0: %+v", r)
+	}
+}
+
+// writeProfile writes one telemetry profile into dir.
+func writeProfile(t *testing.T, dir, name string, meta map[string]string, touch func(*telemetry.Registry)) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("rep_events_total", "", "kind").With("checkpoint").Add(10)
+	h := reg.Histogram("rep_span", "", []float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	if touch != nil {
+		touch(reg)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := telemetry.WriteProfile(f, meta, reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffProfiles(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	meta := map[string]string{"bench": "is", "config": "ReCkpt_E"}
+	writeProfile(t, oldDir, "a.json", meta, nil)
+	writeProfile(t, newDir, "a.json", meta, nil)
+
+	oldSet, err := LoadProfiles(oldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSet, err := LoadProfiles(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DiffProfiles(oldSet, newSet, Options{Threshold: 0})
+	if rep.Regressions != 0 {
+		t.Fatalf("identical profiles: %d regressions", rep.Regressions)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("identical profiles compared no samples")
+	}
+
+	// Any drift in a deterministic profile regresses at threshold 0 —
+	// even an "improvement"-shaped one like an extra span observation.
+	drifted := t.TempDir()
+	writeProfile(t, drifted, "a.json", meta, func(reg *telemetry.Registry) {
+		reg.Counter("rep_events_total", "", "kind").With("checkpoint").Add(2)
+	})
+	driftSet, err := LoadProfiles(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = DiffProfiles(oldSet, driftSet, Options{Threshold: 0})
+	if rep.Regressions == 0 {
+		t.Fatal("deterministic drift not flagged")
+	}
+
+	// A single profile file also loads (non-directory path).
+	single, err := LoadProfiles(filepath.Join(oldDir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Samples) != 1 {
+		t.Fatalf("single file: %d profiles", len(single.Samples))
+	}
+	// Histograms flatten into count/sum/quantiles.
+	for _, samples := range single.Samples {
+		for _, want := range []string{"rep_span:count", "rep_span:sum", "rep_span:p50", "rep_span:p99"} {
+			if _, ok := samples[want]; !ok {
+				t.Fatalf("flattened profile lacks %s: %v", want, samples)
+			}
+		}
+	}
+}
+
+func TestRenderOutputs(t *testing.T) {
+	oldDoc := &BenchDoc{Rows: map[string]map[string]float64{"a": {"ns_per_op": 100}}}
+	newDoc := &BenchDoc{Rows: map[string]map[string]float64{"a": {"ns_per_op": 150}}}
+	rep := DiffBench(oldDoc, newDoc, Options{Threshold: 0.05})
+
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "1 regression") {
+		t.Fatalf("table output:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := rep.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Regressions != 1 || decoded.Mode != "bench" {
+		t.Fatalf("JSON output: %+v", decoded)
+	}
+}

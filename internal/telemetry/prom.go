@@ -126,7 +126,7 @@ func ParseExposition(r io.Reader) (ExpositionStats, error) {
 			}
 			continue
 		}
-		if err := parseSample(text); err != nil {
+		if _, err := parseSample(text); err != nil {
 			return st, fmt.Errorf("line %d: %w", line, err)
 		}
 		st.Samples++
@@ -140,53 +140,101 @@ func ParseExposition(r io.Reader) (ExpositionStats, error) {
 	return st, nil
 }
 
-func parseSample(text string) error {
+// Label is one parsed name="value" pair of a sample's label set.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one parsed exposition sample line: metric name, label pairs in
+// exposition order, and the value. Histogram expansion lines (_bucket with
+// le, _sum, _count) parse as plain samples — Sample is the wire-level view.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ParseSamples parses a Prometheus text exposition into its sample lines,
+// unescaping label values. Comments and blank lines are skipped; the first
+// malformed line is an error. Together with WritePrometheus it forms the
+// round-trip pair the exposition tests (and the observatory's scrape tests)
+// assert equality over.
+func ParseSamples(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}
+
+func parseSample(text string) (Sample, error) {
+	var sample Sample
 	name := text
 	rest := ""
 	if i := strings.IndexByte(text, '{'); i >= 0 {
 		name = text[:i]
 		j := strings.LastIndexByte(text, '}')
 		if j < i {
-			return fmt.Errorf("unterminated label set")
+			return sample, fmt.Errorf("unterminated label set")
 		}
-		if err := parseLabels(text[i+1 : j]); err != nil {
-			return err
+		labels, err := parseLabels(text[i+1 : j])
+		if err != nil {
+			return sample, err
 		}
+		sample.Labels = labels
 		rest = strings.TrimSpace(text[j+1:])
 	} else {
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return fmt.Errorf("sample %q has no value", text)
+			return sample, fmt.Errorf("sample %q has no value", text)
 		}
 		name = fields[0]
 		rest = strings.Join(fields[1:], " ")
 	}
 	if !validMetricName(name) {
-		return fmt.Errorf("invalid metric name %q", name)
+		return sample, fmt.Errorf("invalid metric name %q", name)
 	}
+	sample.Name = name
 	// Value, optionally followed by a timestamp.
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
-		return fmt.Errorf("sample %q: want value [timestamp]", text)
+		return sample, fmt.Errorf("sample %q: want value [timestamp]", text)
 	}
-	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
-		return fmt.Errorf("sample %q: bad value: %w", text, err)
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return sample, fmt.Errorf("sample %q: bad value: %w", text, err)
 	}
-	return nil
+	sample.Value = v
+	return sample, nil
 }
 
-func parseLabels(s string) error {
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
 	for len(s) > 0 {
 		eq := strings.IndexByte(s, '=')
 		if eq < 0 {
-			return fmt.Errorf("label pair %q missing '='", s)
+			return nil, fmt.Errorf("label pair %q missing '='", s)
 		}
-		if !validMetricName(strings.TrimSpace(s[:eq])) {
-			return fmt.Errorf("invalid label name %q", s[:eq])
+		name := strings.TrimSpace(s[:eq])
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("invalid label name %q", s[:eq])
 		}
 		s = strings.TrimSpace(s[eq+1:])
 		if len(s) == 0 || s[0] != '"' {
-			return fmt.Errorf("label value not quoted")
+			return nil, fmt.Errorf("label value not quoted")
 		}
 		end := -1
 		for i := 1; i < len(s); i++ {
@@ -200,13 +248,42 @@ func parseLabels(s string) error {
 			}
 		}
 		if end < 0 {
-			return fmt.Errorf("unterminated label value")
+			return nil, fmt.Errorf("unterminated label value")
 		}
+		out = append(out, Label{Name: name, Value: unescapeLabel(s[1:end])})
 		s = strings.TrimSpace(s[end+1:])
 		s = strings.TrimPrefix(s, ",")
 		s = strings.TrimSpace(s)
 	}
-	return nil
+	return out, nil
+}
+
+// unescapeLabel reverses escapeLabel: \\, \" and \n escapes back to their
+// literal characters.
+func unescapeLabel(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 func validMetricName(s string) bool {

@@ -1,0 +1,92 @@
+package telemetry
+
+import "fmt"
+
+// KindFromString parses the Kind spelling used by snapshots and profiles.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "counter":
+		return KindCounter, nil
+	case "gauge":
+		return KindGauge, nil
+	case "histogram":
+		return KindHistogram, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown metric kind %q", s)
+}
+
+// Clone returns a deep copy of the registry: mutating either side never
+// affects the other. Families and series keep their creation order, so a
+// clone exports byte-identically to its source.
+func (r *Registry) Clone() *Registry {
+	out := NewRegistry()
+	if err := out.ImportSnapshot(r.Snapshot(), "", ""); err != nil {
+		// Snapshot always round-trips through ImportSnapshot: families
+		// are well-formed by construction.
+		panic(fmt.Sprintf("telemetry: clone failed: %v", err))
+	}
+	return out
+}
+
+// ImportSnapshot merges a registry snapshot into r, optionally widening
+// every family's label schema with one extra label (extraName) carrying
+// extraValue on each imported series — the mechanism the observatory uses
+// to aggregate per-run registries into one exposition keyed by a "run"
+// label. Counter and gauge values add onto existing series; histogram
+// bucket counts, sums and counts add exactly (no re-bucketing through
+// Observe). Importing families whose name already exists with a different
+// kind, label schema or bucket layout is an error, not a panic: snapshots
+// cross process boundaries, so shape skew is an input error.
+func (r *Registry) ImportSnapshot(fams []SnapshotFamily, extraName, extraValue string) error {
+	for _, sf := range fams {
+		kind, err := KindFromString(sf.Kind)
+		if err != nil {
+			return err
+		}
+		labels := append([]string(nil), sf.Labels...)
+		if extraName != "" {
+			labels = append(labels, extraName)
+		}
+		if f, ok := r.byName[sf.Name]; ok {
+			if f.Kind != kind || len(f.LabelNames) != len(labels) {
+				return fmt.Errorf("telemetry: import %q: kind/label shape differs from registered family", sf.Name)
+			}
+			if len(f.buckets) != len(sf.Buckets) {
+				return fmt.Errorf("telemetry: import %q: bucket layout differs from registered family", sf.Name)
+			}
+			for i, b := range sf.Buckets {
+				if f.buckets[i] != b {
+					return fmt.Errorf("telemetry: import %q: bucket layout differs from registered family", sf.Name)
+				}
+			}
+		} else if kind == KindHistogram && len(sf.Buckets) == 0 {
+			return fmt.Errorf("telemetry: import %q: histogram without buckets", sf.Name)
+		}
+		f := r.register(sf.Name, sf.Help, kind, sf.Buckets, labels)
+		for _, ss := range sf.Series {
+			if len(ss.LabelValues) != len(sf.Labels) {
+				return fmt.Errorf("telemetry: import %q: series has %d label values, schema has %d",
+					sf.Name, len(ss.LabelValues), len(sf.Labels))
+			}
+			values := append([]string(nil), ss.LabelValues...)
+			if extraName != "" {
+				values = append(values, extraValue)
+			}
+			s := f.With(values...)
+			if kind != KindHistogram {
+				s.value += ss.Value
+				continue
+			}
+			if len(ss.BucketCounts) != len(f.buckets)+1 {
+				return fmt.Errorf("telemetry: import %q: %d bucket counts for %d bounds",
+					sf.Name, len(ss.BucketCounts), len(f.buckets))
+			}
+			for i, n := range ss.BucketCounts {
+				s.bucketCounts[i] += n
+			}
+			s.sum += ss.Sum
+			s.count += ss.Count
+		}
+	}
+	return nil
+}

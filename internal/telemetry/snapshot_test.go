@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildRegistry populates a registry with every metric kind and label shape.
+func buildRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("snap_plain_total", "A label-less counter.").Add(3)
+	lc := reg.Counter("snap_labeled_total", "A labelled counter.", "op", "core")
+	lc.With("read", "0").Add(2)
+	lc.With("write", "1").Add(5)
+	reg.Gauge("snap_gauge", "A gauge.").Set(-1.5)
+	h := reg.Histogram("snap_hist", "A histogram.", []float64{1, 2, 4}, "kind")
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.With("a").Observe(v)
+	}
+	h.With("b").Observe(2)
+	return reg
+}
+
+func export(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	reg := buildRegistry()
+	before := export(t, reg)
+
+	clone := reg.Clone()
+	if got := export(t, clone); got != before {
+		t.Fatalf("clone exports differently:\n--- source ---\n%s--- clone ---\n%s", before, got)
+	}
+
+	// Mutating the source must not leak into the clone, and vice versa.
+	reg.Counter("snap_plain_total", "A label-less counter.").Add(10)
+	reg.Histogram("snap_hist", "A histogram.", []float64{1, 2, 4}, "kind").With("a").Observe(1)
+	if got := export(t, clone); got != before {
+		t.Fatal("mutating the source changed the clone — copy is shallow")
+	}
+	clone.Gauge("snap_gauge", "A gauge.").Set(99)
+	after := export(t, reg)
+	if strings.Contains(after, "snap_gauge 99") {
+		t.Fatal("mutating the clone changed the source — copy is shallow")
+	}
+}
+
+func TestImportSnapshotAddsRunLabel(t *testing.T) {
+	run1 := buildRegistry()
+	run2 := buildRegistry()
+
+	agg := NewRegistry()
+	if err := agg.ImportSnapshot(run1.Snapshot(), "run", "r1"); err != nil {
+		t.Fatalf("import r1: %v", err)
+	}
+	if err := agg.ImportSnapshot(run2.Snapshot(), "run", "r2"); err != nil {
+		t.Fatalf("import r2: %v", err)
+	}
+
+	out := export(t, agg)
+	for _, want := range []string{
+		`snap_plain_total{run="r1"} 3`,
+		`snap_plain_total{run="r2"} 3`,
+		`snap_labeled_total{op="read",core="0",run="r1"} 2`,
+		`snap_hist_bucket{kind="a",run="r2",le="+Inf"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregated exposition lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Re-importing the same run key adds onto the existing series
+	// (cumulative counters stay cumulative).
+	if err := agg.ImportSnapshot(run1.Snapshot(), "run", "r1"); err != nil {
+		t.Fatalf("re-import r1: %v", err)
+	}
+	if out := export(t, agg); !strings.Contains(out, `snap_plain_total{run="r1"} 6`) {
+		t.Errorf("re-import should add values:\n%s", out)
+	}
+}
+
+func TestImportSnapshotRejectsShapeSkew(t *testing.T) {
+	agg := NewRegistry()
+	agg.Counter("skewed", "")
+
+	if err := agg.ImportSnapshot([]SnapshotFamily{{Name: "skewed", Kind: "gauge"}}, "", ""); err == nil {
+		t.Error("kind skew: want error")
+	}
+	if err := agg.ImportSnapshot([]SnapshotFamily{{Name: "skewed", Kind: "counter", Labels: []string{"x"}}}, "", ""); err == nil {
+		t.Error("label-schema skew: want error")
+	}
+	if err := agg.ImportSnapshot([]SnapshotFamily{{Name: "nonsense", Kind: "frobnicator"}}, "", ""); err == nil {
+		t.Error("unknown kind: want error")
+	}
+	if err := agg.ImportSnapshot([]SnapshotFamily{{
+		Name: "badhist", Kind: "histogram", Buckets: []float64{1, 2},
+		Series: []SnapshotSeries{{BucketCounts: []uint64{1}}},
+	}}, "", ""); err == nil {
+		t.Error("bucket-count mismatch: want error")
+	}
+}
