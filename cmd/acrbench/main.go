@@ -3,14 +3,18 @@
 // Usage:
 //
 //	acrbench [-exp all|quick|tableI|fig1|fig6|fig7|fig8|fig9|tableII|fig10|fig11|fig12|fig13|scal|strategies]
-//	         [-threads N] [-class S|W|A] [-j N] [-workers N]
+//	         [-threads N] [-class S|W|A] [-j N] [-workers N] [-compile off]
 //	         [-strategy-benches is,cg,mg] [-strategy-cores 4,8]
 //	         [-strategy-errors 1] [-strategy-json matrix.json]
 //	         [-serve ADDR] [-journal runs.jsonl] [-linger DUR]
 //
 // -j sizes the driver's job pool (distinct machines in flight); -workers
 // sets the intra-run worker count per machine (the deterministic parallel
-// engine, bit-identical to serial execution).
+// engine, bit-identical to serial execution). -compile off|on|auto selects
+// the block-compilation execution engine for those machines — also
+// bit-identical, so every table is unchanged; "on" is rejected with
+// -workers > 1 (speculative rounds bypass block compilation) and "auto"
+// compiles exactly the serial executions.
 //
 // -serve starts the HTTP observatory (internal/obsrv) on ADDR before the
 // sweep: every job registers in the live run registry, /metrics exposes the
@@ -60,6 +64,7 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := flag.Int("j", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	workers := flag.Int("workers", 1, "intra-run simulation workers per machine (>1 = parallel engine, bit-identical to serial; 0 = GOMAXPROCS)")
+	compileFlag := flag.String("compile", "off", "block-compilation engine: off|on|auto (bit-identical to the interpreter; on requires -workers 1, auto compiles serial executions only)")
 	verbose := flag.Bool("v", false, "print per-job wall-time and queue-wait reports")
 	stratBenches := flag.String("strategy-benches", "is,cg,mg", "benchmarks for -exp strategies (comma separated)")
 	stratCores := flag.String("strategy-cores", "4,8", "core counts for -exp strategies (comma separated)")
@@ -87,6 +92,13 @@ func main() {
 	r.SimWorkers = *workers
 	if r.SimWorkers == 0 {
 		r.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	compileMode, err := bench.ParseCompileMode(*compileFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if r.SimCompile, err = compileMode.Resolve(r.SimWorkers); err != nil {
+		fatal(err)
 	}
 
 	var registry *obsrv.Registry

@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"acr/internal/isa"
+	"acr/internal/prog"
+)
+
+// BuildBlockTable flattens the program CFG into the prog.BlockTable the
+// block-compilation engine executes from: the same basic-block partition
+// BuildCFG computes (leaders at the entry, branch targets and the
+// instructions after branches and HALTs), without the edge lists the
+// execution engine has no use for. Every branch target is therefore a
+// block start, which is what lets compiled blocks run straight-line: a
+// taken branch always lands on a block head, never mid-block.
+//
+// It fails exactly when BuildCFG does (empty code, entry or a branch
+// target outside the image); on a prog.Validate-clean program it cannot
+// fail, and the engine treats failure as a whole-program deopt.
+func BuildBlockTable(code []isa.Instr, entry int) (*prog.BlockTable, error) {
+	g, err := BuildCFG(code, entry)
+	if err != nil {
+		return nil, err
+	}
+	t := &prog.BlockTable{
+		Spans:   make([]prog.BlockSpan, len(g.Blocks)),
+		BlockOf: make([]int32, len(code)),
+	}
+	for i, b := range g.Blocks {
+		t.Spans[i] = prog.BlockSpan{Start: b.Start, End: b.End}
+		for pc := b.Start; pc < b.End; pc++ {
+			t.BlockOf[pc] = int32(i)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import "fmt"
+
+// CompileMode is the CLI spelling of the block-compilation knob shared by
+// acrsim and acrbench. The engine is bit-identical to the interpreter for
+// every configuration, so the mode only decides where the wall-clock seam
+// engages:
+//
+//   - off: interpreter everywhere (the default).
+//   - on: the engine on every execution. Rejected when combined with
+//     intra-run parallelism, because the parallel engine's speculative
+//     rounds bypass block compilation — the combination would silently
+//     run almost everything uncompiled.
+//   - auto: the engine exactly where it can engage — serial executions —
+//     and off otherwise; valid with any worker count.
+type CompileMode int
+
+const (
+	CompileOff CompileMode = iota
+	CompileOn
+	CompileAuto
+)
+
+// compileModeNames is the -compile flag grammar, aliases included.
+var compileModeNames = map[string]CompileMode{
+	"off":   CompileOff,
+	"false": CompileOff,
+	"on":    CompileOn,
+	"true":  CompileOn,
+	"auto":  CompileAuto,
+}
+
+// ParseCompileMode parses the -compile flag value. The empty string is the
+// default: off.
+func ParseCompileMode(s string) (CompileMode, error) {
+	if s == "" {
+		return CompileOff, nil
+	}
+	if m, ok := compileModeNames[s]; ok {
+		return m, nil
+	}
+	return CompileOff, fmt.Errorf("unknown -compile mode %q (valid: off, on, auto)", s)
+}
+
+func (m CompileMode) String() string {
+	switch m {
+	case CompileOn:
+		return "on"
+	case CompileAuto:
+		return "auto"
+	default:
+		return "off"
+	}
+}
+
+// Resolve turns the mode into the Runner.SimCompile setting for a given
+// intra-run worker count (after any 0 → GOMAXPROCS expansion). CompileOn
+// is an error with simWorkers > 1: the parallel engine's speculative
+// rounds execute through SpecStep and never enter the block engine, so
+// "on" cannot be honored — auto expresses the supported intent.
+func (m CompileMode) Resolve(simWorkers int) (bool, error) {
+	switch m {
+	case CompileOn:
+		if simWorkers > 1 {
+			return false, fmt.Errorf("-compile on is unsupported with -workers %d: speculative rounds bypass block compilation; use -workers 1, or -compile auto to compile the serial executions only", simWorkers)
+		}
+		return true, nil
+	case CompileAuto:
+		return simWorkers <= 1, nil
+	default:
+		return false, nil
+	}
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompileModeRoundTrip: every mode's canonical spelling parses back to
+// itself — the -compile flag analogue of the checkpoint-spec round-trip.
+func TestCompileModeRoundTrip(t *testing.T) {
+	for _, m := range []CompileMode{CompileOff, CompileOn, CompileAuto} {
+		got, err := ParseCompileMode(m.String())
+		if err != nil {
+			t.Fatalf("ParseCompileMode(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("ParseCompileMode(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+}
+
+// TestCompileModeAliases: bool spellings map onto on/off, and the empty
+// string (an unset flag default) is off.
+func TestCompileModeAliases(t *testing.T) {
+	for in, want := range map[string]CompileMode{
+		"":      CompileOff,
+		"false": CompileOff,
+		"true":  CompileOn,
+	} {
+		got, err := ParseCompileMode(in)
+		if err != nil {
+			t.Fatalf("ParseCompileMode(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("ParseCompileMode(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestCompileModeRejectsGarbage: unknown spellings fail with an error that
+// names the valid grammar, the way -strategy rejections do.
+func TestCompileModeRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"yes", "ON", "compile", "1"} {
+		if _, err := ParseCompileMode(in); err == nil {
+			t.Errorf("ParseCompileMode(%q) accepted garbage", in)
+		} else if !strings.Contains(err.Error(), "off, on, auto") {
+			t.Errorf("ParseCompileMode(%q) error does not list valid modes: %v", in, err)
+		}
+	}
+}
+
+// TestCompileModeResolve: the worker-count validation matrix. "on" with a
+// parallel engine is the unsupported combination — speculative rounds
+// bypass block compilation, so honoring the flag is impossible.
+func TestCompileModeResolve(t *testing.T) {
+	cases := []struct {
+		mode    CompileMode
+		workers int
+		want    bool
+		wantErr bool
+	}{
+		{CompileOff, 1, false, false},
+		{CompileOff, 8, false, false},
+		{CompileOn, 1, true, false},
+		{CompileOn, 2, false, true},
+		{CompileOn, 8, false, true},
+		{CompileAuto, 1, true, false},
+		{CompileAuto, 8, false, false},
+	}
+	for _, c := range cases {
+		got, err := c.mode.Resolve(c.workers)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%v.Resolve(%d) error = %v, wantErr %v", c.mode, c.workers, err, c.wantErr)
+			continue
+		}
+		if err != nil && !strings.Contains(err.Error(), "unsupported") {
+			t.Errorf("%v.Resolve(%d) error does not say unsupported: %v", c.mode, c.workers, err)
+		}
+		if got != c.want {
+			t.Errorf("%v.Resolve(%d) = %v, want %v", c.mode, c.workers, got, c.want)
+		}
+	}
+}

@@ -178,6 +178,16 @@ type Runner struct {
 	//acr:memo-exempt
 	SimWorkers int
 
+	// SimCompile hands sim.Config.Compile to every execution: the
+	// block-compilation engine. The engine is bit-identical to the
+	// interpreter by contract (the sim package's compile fuzz oracle),
+	// so the knob is deliberately not part of the memoisation key: a
+	// cache warmed with the engine on serves -compile=false runs and
+	// vice versa.
+	//
+	//acr:memo-exempt
+	SimCompile bool
+
 	// Lifecycle, when non-nil, receives job begin/end notifications from
 	// RunAll and RunObserved and may attach observers to executions (the
 	// live run registry in internal/obsrv rides on it). Observation is
@@ -292,6 +302,7 @@ func (r *Runner) execute(bench workloads.Bench, p Params, spec Spec, workers int
 	spec = spec.normalized()
 	cfg := sim.DefaultConfig(p.Threads)
 	cfg.Workers = workers
+	cfg.Compile = r.SimCompile
 	cfg.Observers = obs
 	if spec.Ckpt {
 		cfg.Checkpointing = true

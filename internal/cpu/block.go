@@ -1,0 +1,716 @@
+// Block-compilation execution engine: basic blocks of the program are
+// compiled once into flat streams of decoded micro-ops (threaded code) and
+// then executed without per-instruction fetch/decode dispatch. The engine
+// is a pure speed seam — every architectural effect, energy count, hook
+// invocation and its order, and clock advance is bit-identical to running
+// cpu.Core.Step per instruction. The contract is enforced structurally
+// (each compiled op is derived from the corresponding Step case, ALU
+// semantics come from the isa.ALUFn table proven equivalent to
+// isa.EvalALU) and empirically (the sim package's compile fuzz oracle).
+//
+// Compilation model. A compiled block holds one micro-op per instruction:
+//
+//   - most ops (ALU, NOP, disabled-ASSOCADDR skips, loads and stores
+//     without observers, branches and jumps) decode at compile time into
+//     16-byte micro-ops — operands register-indexed, immediates
+//     pre-transformed (LUI shifted, shift counts masked, branch targets
+//     block-relative), r0-discards lowered to accounting-only kinds. The
+//     runner executes them through one compact switch with
+//     clock/energy/instruction counts accumulated in locals and flushed
+//     on exit; counts are commutative, so batching the flush leaves
+//     every total bit-identical. A taken branch whose target lies inside
+//     the same block threads directly to that offset; other targets
+//     return to the outer loop.
+//   - observed ops (LD with the slice tracker on, ST with store hooks
+//     installed, tracked ALU, enabled-ASSOCADDR) also decode into
+//     micro-ops: the tracker, hook and AddrMap interfaces only receive
+//     values — never the core or its clock — so the observer call sites
+//     inline into the switch without breaking the local-accumulator
+//     discipline.
+//   - dyn ops — BARRIER and HALT (scheduling-state transitions) — are
+//     closures referenced from the stream that account for themselves
+//     through the core, with the batched clock synced across the call.
+//
+// The quantum bound and step budget are checked before every op, exactly
+// where the interpreter loop checks them.
+//
+// Blocks compile lazily on first execution into a per-program cache; a
+// block the compiler refuses (unknown op, or the test deny hook) deopts:
+// the runner retires its instructions through Core.Step instead, one at a
+// time, under the same outer loop. Speculative rounds (SpecStep) and any
+// path outside the serial scheduler never enter the engine at all — those
+// are deopt-by-design at the sim layer.
+package cpu
+
+import (
+	"acr/internal/isa"
+	"acr/internal/mem"
+	"acr/internal/prog"
+	"acr/internal/slice"
+)
+
+// CompileStats counts block-engine activity. The counts are engine
+// diagnostics like sim.ParallelStats — they are deliberately not part of
+// the architectural result, which must be bit-identical with the engine
+// off.
+type CompileStats struct {
+	// Blocks is the number of basic blocks compiled (cache fills).
+	Blocks int64
+	// BlockRuns counts block transitions: table lookups that landed on a
+	// compiled block. Consecutive quanta inside one block count once.
+	BlockRuns int64
+	// CompiledInstrs counts instructions retired through compiled code.
+	CompiledInstrs int64
+	// InterpSteps counts instructions retired through the interpreter
+	// deopt path while the engine was on.
+	InterpSteps int64
+	// Deopts counts blocks the compiler refused.
+	Deopts int64
+}
+
+// microOp is one instruction decoded at compile time into a 16-byte
+// entry: operands register-indexed, immediates pre-transformed (LUI
+// shifted, shift counts masked), r0-discards lowered to accounting-only
+// kinds, dyn ops carrying their closure index in imm.
+type microOp struct {
+	imm              int64
+	kind, rd, rs, rt uint8
+}
+
+// Micro-op kinds. Only exact (integer) operations get their own kind;
+// all floating point goes through mkFnF, which dispatches the op's
+// shared isa.ALUFn table entry so that NaN payloads stay bit-identical
+// across engines (see isa.EvalALU). The kind encodes the accounting
+// class: mkSkip charges nothing, mkNop charges a quarter and a fetch,
+// every other fixed kind additionally charges one int (default) or
+// float (mkDropF/mkFnF) ALU energy event, and mkDyn ops account for
+// themselves inside their closures.
+const (
+	mkDyn uint8 = iota
+	mkSkip
+	mkNop
+	mkADD
+	mkSUB
+	mkMUL
+	mkDIV
+	mkREM
+	mkAND
+	mkOR
+	mkXOR
+	mkSHL
+	mkSHR
+	mkSLT
+	mkADDI
+	mkMULI
+	mkANDI
+	mkORI
+	mkXORI
+	mkSHLI
+	mkSHRI
+	mkLI
+	mkMOV
+	mkDropI // integer ALU writing r0: accounting only
+	mkDropF // float ALU writing r0: accounting only
+	mkFnI   // integer-class table dispatch (conversion/compare tail)
+	mkFnF   // float-class table dispatch; imm holds the isa.Op
+	mkLD    // load, tracker off; imm holds the address offset
+	mkST    // store, hooks off; imm holds the address offset
+	mkTrI   // integer ALU, tracker on: refetches the instr for OnALU
+	mkTrF   // float ALU, tracker on
+	mkTrLD  // load surfacing to the tracker; imm holds the offset
+	mkHkST  // store with first-store hooks; imm holds the offset
+	mkAssoc // enabled ASSOC-ADDR with hooks and tracker installed
+	mkJMP   // unconditional jump; imm holds target-start
+	mkBEQ   // conditional branches; imm holds target-start
+	mkBNE
+	mkBLT
+	mkBGE
+)
+
+// compiledBlock is the threaded-code form of one basic block:
+// micro[pc-start] is the decoded op at pc, and dyn holds the closures
+// that mkDyn entries index.
+type compiledBlock struct {
+	start int
+	micro []microOp
+	dyn   []func(c *Core) int
+}
+
+// BlockRunner executes a program through its compiled-block cache for one
+// machine configuration. The memory system, tracker and hooks are captured
+// at construction so compilation can specialise on their presence; the
+// cores only pass through Run. The runner is not safe for concurrent use —
+// the sim layer only drives it from the serial scheduler's goroutine.
+type BlockRunner struct {
+	prog  *prog.Program
+	code  []isa.Instr
+	table *prog.BlockTable
+	sys   *mem.System
+	tr    *slice.Tracker
+	hooks Hooks
+	assoc bool
+
+	blocks []*compiledBlock
+	tried  []bool
+	stats  CompileStats
+	// lastB caches the most recently executed block across Run calls:
+	// quanta are short and loop-shaped code re-enters the same block on
+	// most of them, and compiled blocks depend only on the pc, never on
+	// which core executes, so the cache is valid across cores.
+	lastB *compiledBlock
+
+	// deny, when non-nil, vetoes compilation of blocks whose span it
+	// matches: the test hook that forces the interpreter deopt path.
+	deny func(start, end int) bool
+}
+
+// NewBlockRunner builds a runner for p over the given block table and
+// machine substrates. tr and hooks may be nil, exactly as for Step;
+// assocEnabled must match Core.AssocEnabled on every core the runner will
+// execute. It returns nil if the table does not tile p's code — the caller
+// falls back to the interpreter.
+func NewBlockRunner(p *prog.Program, table *prog.BlockTable, sys *mem.System, tr *slice.Tracker, hooks Hooks, assocEnabled bool) *BlockRunner {
+	if table == nil || !table.Check(len(p.Code)) {
+		return nil
+	}
+	return &BlockRunner{
+		prog:   p,
+		code:   p.Code,
+		table:  table,
+		sys:    sys,
+		tr:     tr,
+		hooks:  hooks,
+		assoc:  assocEnabled,
+		blocks: make([]*compiledBlock, len(table.Spans)),
+		tried:  make([]bool, len(table.Spans)),
+	}
+}
+
+// Stats returns the engine counters accumulated so far.
+func (r *BlockRunner) Stats() CompileStats { return r.stats }
+
+// SetDeny installs the compile veto used by tests to force deopts.
+func (r *BlockRunner) SetDeny(deny func(start, end int) bool) { r.deny = deny }
+
+// Run executes core c until it leaves the Running state, its clock reaches
+// bound (exclusive, in cycles, checked before each op exactly like the
+// interpreter loop's c.Cycles() < bound), or budget instructions have
+// retired. It returns the number of instructions retired, which the caller
+// adds to its step count; energy stays in the core's shadow counters until
+// the caller flushes, as with Step.
+//
+//acr:noalloc
+func (r *BlockRunner) Run(c *Core, bound, budget int64) (steps int64) {
+	const maxInt64 = int64(^uint64(0) >> 1)
+	qb := maxInt64
+	if bound < qb/qPerCycle {
+		// quarters < bound*qPerCycle  ⟺  Cycles() < bound, exactly,
+		// because both sides are non-negative.
+		qb = bound * qPerCycle
+	}
+	// Clock, energy and instruction counts accumulate in locals and flush
+	// to the core once on exit — counts are commutative, so totals stay
+	// bit-identical, and they survive block transitions within the
+	// quantum. Around each dyn op or deopt Step the clock syncs both
+	// ways: those paths charge their dynamic latency (and their observers
+	// read the clock) through the core. Bound and budget are checked
+	// before every op, exactly the interpreter's pre-op checks.
+	//
+	// aInstr counts accounted micro ops (dyn ops, deopt steps and skips
+	// excluded). aNop counts those with no ALU energy event (NOP, loads,
+	// stores, control transfers) and aFloat the float-class ops, so the
+	// integer ALU energy count is derived as the remainder at flush.
+	q := c.quarters
+	pc := c.PC
+	regs := &c.Regs
+	code := r.code
+	var aInstr, aNop, aFloat, interp int64
+	b := r.lastB
+	var mos []microOp
+	if b != nil {
+		mos = b.micro
+	}
+	off := 0
+	for c.State == Running && q < qb && steps < budget {
+		if b == nil || pc < b.start || pc-b.start >= len(mos) {
+			if pc < 0 || pc >= len(r.code) {
+				// Fell off the code image: materialise the core state and
+				// reproduce the interpreter's out-of-range panic rather
+				// than inventing a new failure mode.
+				c.PC, c.quarters = pc, q
+				c.Step(r.prog, r.sys, r.tr, r.hooks)
+			}
+			if b = r.blockAt(pc); b == nil {
+				// Deopt: this block runs interpreted, one op per outer
+				// check, through the materialised core state.
+				c.PC, c.quarters = pc, q
+				c.Step(r.prog, r.sys, r.tr, r.hooks)
+				pc, q = c.PC, c.quarters
+				steps++
+				interp++
+				continue
+			}
+			mos = b.micro
+			r.lastB = b
+			r.stats.BlockRuns++
+		}
+		off = pc - b.start
+	block:
+		for off < len(mos) && q < qb && steps < budget {
+			mo := &mos[off]
+			rd := mo.rd & (isa.NumRegs - 1)
+			rs := mo.rs & (isa.NumRegs - 1)
+			rt := mo.rt & (isa.NumRegs - 1)
+			switch mo.kind {
+			case mkDyn:
+				c.quarters = q
+				next := b.dyn[mo.imm](c)
+				q = c.quarters
+				steps++
+				noff := next - b.start
+				if c.State != Running || noff < 0 || noff >= len(mos) {
+					// HALT/BARRIER retired, or control left the block; the
+					// outer loop re-enters at the target block's head.
+					off = noff
+					break block
+				}
+				// Fall-through or an in-block branch target (the tight-loop
+				// back edge): thread directly.
+				off = noff
+				continue
+			case mkSkip:
+				// Disabled ASSOCADDR: consumes a step, charges nothing.
+				steps++
+				off++
+				continue
+			case mkNop:
+				aNop++
+			case mkADD:
+				regs[rd] = regs[rs] + regs[rt]
+			case mkSUB:
+				regs[rd] = regs[rs] - regs[rt]
+			case mkMUL:
+				regs[rd] = regs[rs] * regs[rt]
+			case mkDIV:
+				if regs[rt] == 0 {
+					regs[rd] = 0
+				} else {
+					regs[rd] = regs[rs] / regs[rt]
+				}
+			case mkREM:
+				if regs[rt] == 0 {
+					regs[rd] = 0
+				} else {
+					regs[rd] = regs[rs] % regs[rt]
+				}
+			case mkAND:
+				regs[rd] = regs[rs] & regs[rt]
+			case mkOR:
+				regs[rd] = regs[rs] | regs[rt]
+			case mkXOR:
+				regs[rd] = regs[rs] ^ regs[rt]
+			case mkSHL:
+				regs[rd] = regs[rs] << (uint64(regs[rt]) & 63)
+			case mkSHR:
+				regs[rd] = int64(uint64(regs[rs]) >> (uint64(regs[rt]) & 63))
+			case mkSLT:
+				if regs[rs] < regs[rt] {
+					regs[rd] = 1
+				} else {
+					regs[rd] = 0
+				}
+			case mkADDI:
+				regs[rd] = regs[rs] + mo.imm
+			case mkMULI:
+				regs[rd] = regs[rs] * mo.imm
+			case mkANDI:
+				regs[rd] = regs[rs] & mo.imm
+			case mkORI:
+				regs[rd] = regs[rs] | mo.imm
+			case mkXORI:
+				regs[rd] = regs[rs] ^ mo.imm
+			case mkSHLI:
+				regs[rd] = regs[rs] << uint64(mo.imm)
+			case mkSHRI:
+				regs[rd] = int64(uint64(regs[rs]) >> uint64(mo.imm))
+			case mkLI:
+				regs[rd] = mo.imm
+			case mkMOV:
+				regs[rd] = regs[rs]
+			case mkDropI:
+				// Integer ALU writing r0: the write is discarded, the
+				// accounting is not.
+			case mkDropF:
+				aFloat++
+			case mkFnI:
+				regs[rd] = isa.ALUFn(isa.Op(mo.imm))(regs[rs], regs[rt], regs[rd], 0) //acr:spec-ok pure table entry, written once at init
+			case mkFnF:
+				regs[rd] = isa.ALUFn(isa.Op(mo.imm))(regs[rs], regs[rt], regs[rd], 0) //acr:spec-ok pure table entry, written once at init
+				aFloat++
+			case mkLD:
+				// Load with the tracker off: the memory system never reads the
+				// core clock, so the local-q discipline holds across the call.
+				val, lat := r.sys.Load(c.ID, regs[rs]+mo.imm)
+				if rd != 0 {
+					regs[rd] = val
+				}
+				q += lat * qPerCycle
+				aInstr++
+				aNop++
+				steps++
+				off++
+				continue
+			case mkST:
+				addr := regs[rs] + mo.imm
+				_, _, lat := r.sys.Store(c.ID, addr, regs[rt])
+				q += lat * qPerCycle
+				c.lastStoreAddr = addr
+				c.lastStoreReg = isa.Reg(rt)
+				aInstr++
+				aNop++
+				steps++
+				off++
+				continue
+			case mkTrI:
+				// Tracked ALU refetches the original instruction: OnALU
+				// observes the full encoding, and the refetch keeps the
+				// micro-op's imm free. The tracker only receives values, so
+				// the batched clock needs no sync.
+				in := code[b.start+off]
+				if rd != 0 {
+					regs[rd] = isa.ALUFn(in.Op)(regs[rs], regs[rt], regs[rd], in.Imm) //acr:spec-ok pure table entry, written once at init
+				}
+				r.tr.OnALU(c.ID, in)
+			case mkTrF:
+				in := code[b.start+off]
+				if rd != 0 {
+					regs[rd] = isa.ALUFn(in.Op)(regs[rs], regs[rt], regs[rd], in.Imm) //acr:spec-ok pure table entry, written once at init
+				}
+				r.tr.OnALU(c.ID, in)
+				aFloat++
+			case mkTrLD:
+				val, lat := r.sys.Load(c.ID, regs[rs]+mo.imm)
+				if rd != 0 {
+					regs[rd] = val
+				}
+				r.tr.OnLoad(c.ID, isa.Reg(rd), val)
+				q += lat * qPerCycle
+				aInstr++
+				aNop++
+				steps++
+				off++
+				continue
+			case mkHkST:
+				addr := regs[rs] + mo.imm
+				old, first, lat := r.sys.Store(c.ID, addr, regs[rt])
+				q += lat * qPerCycle
+				if first {
+					q += r.hooks.FirstStore(c.ID, addr, old) * qPerCycle
+				}
+				c.lastStoreAddr = addr
+				c.lastStoreReg = isa.Reg(rt)
+				aInstr++
+				aNop++
+				steps++
+				off++
+				continue
+			case mkAssoc:
+				c.accL1D++
+				q++
+				q += r.hooks.Assoc(c.ID, b.start+off, c.lastStoreAddr,
+					r.tr.Recipe(c.ID, c.lastStoreReg)) * qPerCycle
+				aInstr++
+				aNop++
+				steps++
+				off++
+				continue
+			case mkJMP:
+				q++
+				aInstr++
+				aNop++
+				steps++
+				off = int(mo.imm)
+				if off < 0 || off >= len(mos) {
+					break block
+				}
+				continue
+			case mkBEQ:
+				q++
+				aInstr++
+				aNop++
+				steps++
+				if regs[rs] == regs[rt] {
+					off = int(mo.imm)
+					if off < 0 || off >= len(mos) {
+						break block
+					}
+					continue
+				}
+				off++
+				continue
+			case mkBNE:
+				q++
+				aInstr++
+				aNop++
+				steps++
+				if regs[rs] != regs[rt] {
+					off = int(mo.imm)
+					if off < 0 || off >= len(mos) {
+						break block
+					}
+					continue
+				}
+				off++
+				continue
+			case mkBLT:
+				q++
+				aInstr++
+				aNop++
+				steps++
+				if regs[rs] < regs[rt] {
+					off = int(mo.imm)
+					if off < 0 || off >= len(mos) {
+						break block
+					}
+					continue
+				}
+				off++
+				continue
+			default: // mkBGE
+				q++
+				aInstr++
+				aNop++
+				steps++
+				if regs[rs] >= regs[rt] {
+					off = int(mo.imm)
+					if off < 0 || off >= len(mos) {
+						break block
+					}
+					continue
+				}
+				off++
+				continue
+			}
+			// Shared fixed-op accounting: one quarter, one fetch.
+			q++
+			aInstr++
+			steps++
+			off++
+		}
+		pc = b.start + off
+	}
+	c.PC = pc
+	c.quarters = q
+	if aInstr != 0 {
+		c.Instrs += aInstr
+		c.accL1I += uint64(aInstr)
+		c.accInt += uint64(aInstr - aNop - aFloat)
+		c.accFloat += uint64(aFloat)
+	}
+	r.stats.CompiledInstrs += steps - interp
+	if interp != 0 {
+		r.stats.InterpSteps += interp
+	}
+	return steps
+}
+
+// blockAt returns the compiled block containing pc, compiling it on first
+// use, or nil when the block is deopted to the interpreter.
+func (r *BlockRunner) blockAt(pc int) *compiledBlock {
+	id := r.table.BlockOf[pc]
+	if b := r.blocks[id]; b != nil {
+		return b
+	}
+	if r.tried[id] {
+		return nil
+	}
+	r.tried[id] = true
+	sp := r.table.Spans[id]
+	if r.deny != nil && r.deny(sp.Start, sp.End) {
+		r.stats.Deopts++
+		return nil
+	}
+	b := r.compile(sp.Start, sp.End)
+	if b == nil {
+		r.stats.Deopts++
+		return nil
+	}
+	r.stats.Blocks++
+	r.blocks[id] = b
+	return b
+}
+
+// compile translates code [start, end) into a compiled block, or returns
+// nil if any op defeats the compiler (the deopt path takes over).
+func (r *BlockRunner) compile(start, end int) *compiledBlock {
+	b := &compiledBlock{
+		start: start,
+		micro: make([]microOp, end-start),
+	}
+	for pc := start; pc < end; pc++ {
+		in := r.code[pc]
+		switch {
+		case in.Op == isa.NOP:
+			b.micro[pc-start] = microOp{kind: mkNop}
+		case in.Op == isa.ASSOCADDR && !r.assoc:
+			// Not part of the baseline binary: a free skip that still
+			// consumes one scheduler step, like the interpreter's early
+			// return.
+			b.micro[pc-start] = microOp{kind: mkSkip}
+		case in.Op.IsALU() && r.tr == nil:
+			b.micro[pc-start] = microALU(in)
+		case in.Op.IsALU():
+			// Tracker on: every ALU op surfaces to the slice tracker. The
+			// micro-op keeps the operand indices for the register file; the
+			// runner refetches the instruction itself for OnALU.
+			k := mkTrI
+			if in.Op.IsFloat() {
+				k = mkTrF
+			}
+			b.micro[pc-start] = microOp{kind: k, rd: uint8(in.Rd), rs: uint8(in.Rs), rt: uint8(in.Rt)}
+		case in.Op == isa.LD && r.tr == nil:
+			b.micro[pc-start] = microOp{kind: mkLD, rd: uint8(in.Rd), rs: uint8(in.Rs), imm: in.Imm}
+		case in.Op == isa.LD:
+			b.micro[pc-start] = microOp{kind: mkTrLD, rd: uint8(in.Rd), rs: uint8(in.Rs), imm: in.Imm}
+		case in.Op == isa.ST && r.hooks == nil:
+			b.micro[pc-start] = microOp{kind: mkST, rs: uint8(in.Rs), rt: uint8(in.Rt), imm: in.Imm}
+		case in.Op == isa.ST:
+			b.micro[pc-start] = microOp{kind: mkHkST, rs: uint8(in.Rs), rt: uint8(in.Rt), imm: in.Imm}
+		case in.Op == isa.ASSOCADDR && r.hooks != nil && r.tr != nil:
+			b.micro[pc-start] = microOp{kind: mkAssoc}
+		case in.Op == isa.JMP:
+			// Control ops store their target as a block-relative offset;
+			// out-of-block offsets exit the runner, which re-enters at the
+			// target block.
+			b.micro[pc-start] = microOp{kind: mkJMP, imm: in.Imm - int64(start)}
+		case in.Op == isa.BEQ, in.Op == isa.BNE, in.Op == isa.BLT, in.Op == isa.BGE:
+			var k uint8
+			switch in.Op {
+			case isa.BEQ:
+				k = mkBEQ
+			case isa.BNE:
+				k = mkBNE
+			case isa.BLT:
+				k = mkBLT
+			default:
+				k = mkBGE
+			}
+			b.micro[pc-start] = microOp{kind: k, rs: uint8(in.Rs), rt: uint8(in.Rt), imm: in.Imm - int64(start)}
+		default:
+			fn := r.compileDyn(pc, in)
+			if fn == nil {
+				return nil
+			}
+			b.micro[pc-start] = microOp{kind: mkDyn, imm: int64(len(b.dyn))}
+			b.dyn = append(b.dyn, fn)
+		}
+	}
+	return b
+}
+
+// microALU decodes one ALU instruction into its micro-op: integer
+// arithmetic gets a dedicated exact kind with immediates pre-transformed;
+// floating point and the conversion/compare tail keep the shared-table
+// dispatch (mkFnI/mkFnF) so NaN payloads stay bit-identical. A write to
+// r0 is architecturally discarded and the computation is pure and
+// unobserved, so the op lowers to its accounting class alone.
+func microALU(in isa.Instr) microOp {
+	if in.Rd == 0 {
+		if in.Op.IsFloat() {
+			return microOp{kind: mkDropF}
+		}
+		return microOp{kind: mkDropI}
+	}
+	mo := microOp{rd: uint8(in.Rd), rs: uint8(in.Rs), rt: uint8(in.Rt), imm: in.Imm}
+	switch in.Op {
+	case isa.ADD:
+		mo.kind = mkADD
+	case isa.SUB:
+		mo.kind = mkSUB
+	case isa.MUL:
+		mo.kind = mkMUL
+	case isa.DIV:
+		mo.kind = mkDIV
+	case isa.REM:
+		mo.kind = mkREM
+	case isa.AND:
+		mo.kind = mkAND
+	case isa.OR:
+		mo.kind = mkOR
+	case isa.XOR:
+		mo.kind = mkXOR
+	case isa.SHL:
+		mo.kind = mkSHL
+	case isa.SHR:
+		mo.kind = mkSHR
+	case isa.SLT:
+		mo.kind = mkSLT
+	case isa.ADDI:
+		mo.kind = mkADDI
+	case isa.MULI:
+		mo.kind = mkMULI
+	case isa.ANDI:
+		mo.kind = mkANDI
+	case isa.ORI:
+		mo.kind = mkORI
+	case isa.XORI:
+		mo.kind = mkXORI
+	case isa.SHLI:
+		mo.kind, mo.imm = mkSHLI, int64(uint64(in.Imm)&63)
+	case isa.SHRI:
+		mo.kind, mo.imm = mkSHRI, int64(uint64(in.Imm)&63)
+	case isa.LUI:
+		mo.kind, mo.imm = mkLI, in.Imm<<32
+	case isa.LI:
+		mo.kind = mkLI
+	case isa.MOV:
+		mo.kind = mkMOV
+	default:
+		// Float, conversion and compare ops: shared-table dispatch. None
+		// of them reads the immediate field, which instead carries the
+		// op for the table lookup.
+		mo.kind, mo.imm = mkFnI, int64(in.Op)
+		if in.Op.IsFloat() {
+			mo.kind = mkFnF
+		}
+	}
+	return mo
+}
+
+// compileDyn closes over one scheduling-state op — BARRIER, HALT, or an
+// enabled ASSOC-ADDR with its observers absent (cpu-level tests; sim always
+// installs both). It returns nil for ops the compiler does not handle.
+func (r *BlockRunner) compileDyn(pc int, in isa.Instr) func(c *Core) int {
+	next := pc + 1
+	switch in.Op {
+	case isa.ASSOCADDR:
+		// Enabled but unobserved (hooks or tracker nil): charges like a
+		// store to L1-D with no AddrMap work.
+		return func(c *Core) int {
+			c.accL1I++
+			c.Instrs++
+			c.accL1D++
+			c.quarters++
+			return next
+		}
+	case isa.BARRIER:
+		return func(c *Core) int {
+			c.accL1I++
+			c.Instrs++
+			// Clock before the transition, exactly like Step: OnState
+			// observers read the clock inclusive of the barrier's cycle.
+			c.quarters++
+			c.SetState(AtBarrier)
+			return next
+		}
+	case isa.HALT:
+		return func(c *Core) int {
+			c.accL1I++
+			c.Instrs++
+			c.quarters++
+			c.SetState(Halted)
+			return next
+		}
+	}
+	return nil
+}

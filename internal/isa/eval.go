@@ -11,8 +11,25 @@ import "math"
 //
 // EvalALU panics if op is not an ALU operation; callers gate on Op.IsALU.
 //
+// EvalALU dispatches through the aluFns specialisation table (alufn.go) —
+// the same function values the block compiler captures per instruction —
+// so the interpreter, the Slice recomputation engine and compiled blocks
+// execute the identical machine code for every op. Sharing one code path
+// is what makes floating-point results bit-identical across engines even
+// for NaN payloads, whose propagation the language does not pin down
+// across separately compiled expressions.
+//
 //acr:spec-safe
 func EvalALU(op Op, a, b, c, imm int64) int64 {
+	if !op.IsALU() {
+		panic("isa: EvalALU on non-ALU op " + op.String())
+	}
+	return aluFns[op](a, b, c, imm) //acr:spec-ok pure table entries, written once at init
+}
+
+// evalALUSwitch is the reference switch form of EvalALU, retained for the
+// table-equivalence test.
+func evalALUSwitch(op Op, a, b, c, imm int64) int64 {
 	switch op {
 	case ADD:
 		return a + b

@@ -1,0 +1,46 @@
+package prog
+
+// BlockSpan is the half-open instruction range [Start, End) of one basic
+// block of a code image.
+type BlockSpan struct {
+	Start, End int
+}
+
+// Len returns the number of instructions in the block.
+func (s BlockSpan) Len() int { return s.End - s.Start }
+
+// BlockTable is the basic-block partition of a program's code image in a
+// form the execution engine can index per retired instruction: every pc
+// maps to exactly one block, and blocks tile the code in address order.
+// The analysis package builds the table from the program CFG (prog cannot
+// import analysis, so the type lives here and the builder there); the cpu
+// block compiler consumes it as its unit of compilation and caching.
+type BlockTable struct {
+	// Spans lists the blocks in ascending address order.
+	Spans []BlockSpan
+	// BlockOf maps each pc to its index in Spans.
+	BlockOf []int32
+}
+
+// Check verifies the partition invariants against a code image of n
+// instructions: spans tile [0, n) exactly and BlockOf agrees with them.
+// The execution engine trusts an incoming table; Check lets its
+// constructor (and tests) establish that trust cheaply once.
+func (t *BlockTable) Check(n int) bool {
+	if len(t.BlockOf) != n {
+		return false
+	}
+	next := 0
+	for i, s := range t.Spans {
+		if s.Start != next || s.End <= s.Start || s.End > n {
+			return false
+		}
+		for pc := s.Start; pc < s.End; pc++ {
+			if int(t.BlockOf[pc]) != i {
+				return false
+			}
+		}
+		next = s.End
+	}
+	return next == n
+}

@@ -14,12 +14,16 @@ import (
 )
 
 // benchPoint is one benchmark configuration's measured numbers as exported
-// to BENCH_6.json.
+// to BENCH_7.json.
 type benchPoint struct {
 	Name    string `json:"name"`
 	Cores   int    `json:"cores"`
 	Ckpt    bool   `json:"ckpt"`
 	Workers int    `json:"workers"`
+	// Compile marks rows run with the block-compilation execution engine
+	// (sim.Config.Compile); results are bit-identical to compile=false
+	// rows, only the wall clock moves.
+	Compile bool `json:"compile,omitempty"`
 	// Strategy is the checkpoint scheme ("" for uncheckpointed rows; the
 	// pre-strategy-engine baseline rows carry "amnesic", which is what
 	// ckpt=true meant before the engine existed).
@@ -36,28 +40,34 @@ type benchPoint struct {
 	AllocsPerKInstr float64 `json:"allocs_per_kinstr"`
 }
 
-// benchBaseline carries the BENCH_5.json results (commit d3df3a5,
-// go test -bench=MachineRun -benchtime=20x, 1 host CPU) forward as this
-// PR's reference point. ckpt=true rows ran amnesic ACR — the only
-// checkpointed configuration before the strategy engine — so they anchor
-// the strategy=amnesic rows: the engine refactor must not slow the path it
-// re-expressed.
-var benchBaseline = []benchPoint{
-	{Name: "cores=8/ckpt=false/workers=1", Cores: 8, Workers: 1, N: 20, NsPerOp: 1_872_809, AllocsPerOp: 79, BytesPerOp: 1_721_792, SimMIPS: 39.40, Instrs: 73_784, AllocsPerKInstr: 1.071},
-	{Name: "cores=8/ckpt=false/workers=4", Cores: 8, Workers: 4, N: 20, NsPerOp: 2_210_576, AllocsPerOp: 556, BytesPerOp: 1_983_118, SimMIPS: 33.38, Instrs: 73_784, AllocsPerKInstr: 7.536},
-	{Name: "cores=8/ckpt=true/workers=1", Cores: 8, Ckpt: true, Workers: 1, Strategy: "amnesic", N: 20, NsPerOp: 10_662_276, AllocsPerOp: 2_771, BytesPerOp: 7_811_879, SimMIPS: 7.640, Instrs: 81_464, AllocsPerKInstr: 34.02},
-	{Name: "cores=8/ckpt=true/workers=4", Cores: 8, Ckpt: true, Workers: 4, Strategy: "amnesic", N: 20, NsPerOp: 17_122_798, AllocsPerOp: 3_449, BytesPerOp: 8_260_127, SimMIPS: 4.758, Instrs: 81_464, AllocsPerKInstr: 42.34},
-	{Name: "cores=16/ckpt=false/workers=1", Cores: 16, Workers: 1, N: 20, NsPerOp: 5_203_523, AllocsPerOp: 143, BytesPerOp: 3_442_208, SimMIPS: 28.36, Instrs: 147_568, AllocsPerKInstr: 0.969},
-	{Name: "cores=16/ckpt=false/workers=4", Cores: 16, Workers: 4, N: 20, NsPerOp: 3_450_251, AllocsPerOp: 1_072, BytesPerOp: 3_951_592, SimMIPS: 42.77, Instrs: 147_568, AllocsPerKInstr: 7.264},
-	{Name: "cores=16/ckpt=true/workers=1", Cores: 16, Ckpt: true, Workers: 1, Strategy: "amnesic", N: 20, NsPerOp: 25_740_346, AllocsPerOp: 5_168, BytesPerOp: 13_356_040, SimMIPS: 6.330, Instrs: 162_928, AllocsPerKInstr: 31.72},
-	{Name: "cores=16/ckpt=true/workers=4", Cores: 16, Ckpt: true, Workers: 4, Strategy: "amnesic", N: 20, NsPerOp: 34_396_882, AllocsPerOp: 6_364, BytesPerOp: 17_054_072, SimMIPS: 4.737, Instrs: 162_928, AllocsPerKInstr: 39.06},
-	{Name: "cores=32/ckpt=false/workers=1", Cores: 32, Workers: 1, N: 20, NsPerOp: 15_351_035, AllocsPerOp: 271, BytesPerOp: 6_883_040, SimMIPS: 19.23, Instrs: 295_136, AllocsPerKInstr: 0.918},
-	{Name: "cores=32/ckpt=false/workers=4", Cores: 32, Workers: 4, N: 20, NsPerOp: 6_843_259, AllocsPerOp: 2_112, BytesPerOp: 7_892_168, SimMIPS: 43.13, Instrs: 295_136, AllocsPerKInstr: 7.156},
-	{Name: "cores=32/ckpt=true/workers=1", Cores: 32, Ckpt: true, Workers: 1, Strategy: "amnesic", N: 20, NsPerOp: 59_164_866, AllocsPerOp: 10_502, BytesPerOp: 18_881_735, SimMIPS: 5.508, Instrs: 325_856, AllocsPerKInstr: 32.23},
-	{Name: "cores=32/ckpt=true/workers=4", Cores: 32, Ckpt: true, Workers: 4, Strategy: "amnesic", N: 20, NsPerOp: 74_190_619, AllocsPerOp: 12_708, BytesPerOp: 23_992_904, SimMIPS: 4.392, Instrs: 325_856, AllocsPerKInstr: 39.00},
+// loadBenchBaseline carries the committed BENCH_6.json results forward as
+// this PR's reference point instead of re-hardcoding them: the file is the
+// single source of truth for the pre-compilation numbers, and the row named
+// base32Row inside it (17_666_397 ns/op as committed) anchors the issue's
+// ≥1.5x criterion for the block-compilation engine.
+func loadBenchBaseline(t *testing.T) []benchPoint {
+	raw, err := os.ReadFile("../../BENCH_6.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_6 baseline: %v", err)
+	}
+	var doc struct {
+		Results []benchPoint `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing BENCH_6 baseline: %v", err)
+	}
+	if len(doc.Results) == 0 {
+		t.Fatal("BENCH_6.json has no results rows")
+	}
+	return doc.Results
 }
 
-// benchFile is the BENCH_6.json document.
+// base32Row is the BENCH_6 row the speedup criterion divides by: 32 cores,
+// uncheckpointed, serial — the configuration where per-instruction dispatch
+// dominates and block compilation has the most to win.
+const base32Row = "cores=32/strategy=none/workers=1"
+
+// benchFile is the BENCH_7.json document.
 type benchFile struct {
 	Issue       int    `json:"issue"`
 	Description string `json:"description"`
@@ -68,13 +78,20 @@ type benchFile struct {
 	HostCPUs int          `json:"host_cpus"`
 	Baseline []benchPoint `json:"baseline_pre_pr"`
 	Results  []benchPoint `json:"results"`
-	// Serial32AmnesicVsPR5 is BENCH_5 / workers=1 ns_per_op for the
-	// 32-core amnesic configuration — the no-regression check on the
-	// strategy-engine refactor (≥ ~1 means the seam cost nothing).
-	Serial32AmnesicVsPR5 float64 `json:"speedup_32core_amnesic_serial_vs_pr5"`
-	// Speedup32AmnesicParallel is workers=1 / workers=max ns_per_op for
-	// the same configuration, carried over from BENCH_5's criterion.
-	Speedup32AmnesicParallel float64 `json:"speedup_32core_amnesic_workers"`
+	// CompileVsBench6 is BENCH_6's base32Row ns_per_op divided by this
+	// run's 32-core uncheckpointed serial compile=true ns_per_op — the
+	// issue's acceptance criterion (must be ≥ 1.5). It compares across
+	// invocations, so host noise leaks in; CompileVsInterp below is the
+	// same-invocation control.
+	CompileVsBench6 float64 `json:"speedup_32core_nockpt_serial_compile_vs_bench6"`
+	// CompileVsInterp is compile=false / compile=true ns_per_op for the
+	// 32-core uncheckpointed serial configuration, both measured in this
+	// invocation — the engine's dispatch win isolated from host drift.
+	CompileVsInterp float64 `json:"speedup_32core_nockpt_serial_compile_vs_interp"`
+	// CompileVsInterpAmnesic is the same ratio with amnesic checkpointing
+	// on: checkpoint establishment and energy modelling dilute the
+	// dispatch win, so this bounds the engine's end-to-end effect.
+	CompileVsInterpAmnesic float64 `json:"speedup_32core_amnesic_serial_compile_vs_interp"`
 }
 
 // benchStrategySetup builds the configuration for one (cores, strategy)
@@ -115,13 +132,64 @@ func benchSetup(tb testing.TB, cores, iters int, ck bool) (Config, *prog.Program
 	return benchStrategySetup(tb, cores, iters, kind)
 }
 
-func measureStrategyPoint(t *testing.T, cores, iters, workers int, kind ckpt.Kind, name string) benchPoint {
+// measureCompilePair measures one (cores, strategy, workers) configuration
+// with the engine off and then on, interleaving the repetitions
+// (off, on, off, on, ...) and keeping each side's fastest. The host's
+// throughput drifts up to ~1.5x on a minutes scale, so paired alternation
+// keeps the off/on comparison inside one noise window instead of letting
+// the two sides land in different ones.
+func measureCompilePair(t *testing.T, cores, iters, workers int, kind ckpt.Kind, baseName string) [2]benchPoint {
 	cfg, p := benchStrategySetup(t, cores, iters, kind)
 	cfg.Workers = workers
-	pt := measureCfg(t, cfg, p, name, cores, kind >= 0)
-	pt.Workers = workers
-	if kind >= 0 {
-		pt.Strategy = kind.String()
+
+	// One un-timed run for the instruction count of the workload.
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var best [2]testing.BenchmarkResult
+	for rep := 0; rep < 3; rep++ {
+		for i, compile := range []bool{false, true} {
+			c := cfg
+			c.Compile = compile
+			r := testing.Benchmark(func(b *testing.B) { benchRun(b, c, p) })
+			if rep == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+
+	var pts [2]benchPoint
+	for i, compile := range []bool{false, true} {
+		pt := pointFrom(best[i], fmt.Sprintf("%s/compile=%v", baseName, compile), cores, kind >= 0, res.Instrs)
+		pt.Workers = workers
+		pt.Compile = compile
+		if kind >= 0 {
+			pt.Strategy = kind.String()
+		}
+		pts[i] = pt
+	}
+	return pts
+}
+
+// pointFrom converts one benchmark result into its JSON row.
+func pointFrom(r testing.BenchmarkResult, name string, cores int, ckpt bool, instrs int64) benchPoint {
+	pt := benchPoint{
+		Name: name, Cores: cores, Ckpt: ckpt,
+		N:           r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		SimMIPS:     r.Extra["sim-MIPS"],
+		Instrs:      instrs,
+	}
+	if instrs > 0 {
+		pt.AllocsPerKInstr = float64(pt.AllocsPerOp) / (float64(instrs) / 1000)
 	}
 	return pt
 }
@@ -139,27 +207,15 @@ func measureCfg(t *testing.T, cfg Config, p *prog.Program, name string, cores in
 	}
 
 	r := testing.Benchmark(func(b *testing.B) { benchRun(b, cfg, p) })
-	pt := benchPoint{
-		Name: name, Cores: cores, Ckpt: ckpt,
-		N:           r.N,
-		NsPerOp:     r.NsPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		SimMIPS:     r.Extra["sim-MIPS"],
-		Instrs:      res.Instrs,
-	}
-	if res.Instrs > 0 {
-		pt.AllocsPerKInstr = float64(pt.AllocsPerOp) / (float64(res.Instrs) / 1000)
-	}
-	return pt
+	return pointFrom(r, name, cores, ckpt, res.Instrs)
 }
 
-// TestEmitBenchJSON regenerates BENCH_6.json: the checkpoint-strategy ×
-// core-count matrix, serial and through the parallel engine. It is gated
-// behind ACR_BENCH_JSON (the output path, or "1" for the repo-root default)
-// so plain `go test ./...` stays fast; CI runs it with -benchtime=1x as a
-// smoke check and uploads the artifact, and maintainers refresh the
-// committed file with a real benchtime:
+// TestEmitBenchJSON regenerates BENCH_7.json: the block-compilation matrix —
+// three machine scales × {uncheckpointed, amnesic} × {interpreter, compiled}
+// × {serial, parallel}. It is gated behind ACR_BENCH_JSON (the output path,
+// or "1" for the repo-root default) so plain `go test ./...` stays fast; CI
+// runs it with -benchtime=1x as a smoke check and uploads the artifact, and
+// maintainers refresh the committed file with a real benchtime:
 //
 //	ACR_BENCH_JSON=1 go test ./internal/sim -run TestEmitBenchJSON -benchtime=10x -timeout 30m
 func TestEmitBenchJSON(t *testing.T) {
@@ -168,45 +224,57 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Skip("set ACR_BENCH_JSON to emit the benchmark JSON")
 	}
 	if path == "1" {
-		path = "../../BENCH_6.json"
+		path = "../../BENCH_7.json"
 	}
 
+	baseline := loadBenchBaseline(t)
 	doc := benchFile{
-		Issue:       6,
-		Description: "Pluggable checkpoint-strategy engine: full, amnesic, differential, tiered and auto strategies behind one ckpt.Strategy seam, measured on the synthetic NAS-shaped kernel (10 iterations, 48 words/thread, ~12 checkpoints per run) at two machine scales, serial (workers=1) and through the deterministic parallel engine (workers=N). strategy=\"\" rows are the NoCkpt reference. Baseline is BENCH_5 (pre-strategy engine; its ckpt=true rows are amnesic).",
+		Issue:       7,
+		Description: "Block-compilation execution engine: basic blocks compiled to flat micro-op streams with interpreter deopt, bit-identical to per-instruction dispatch by contract. Measured on the synthetic NAS-shaped kernel (10 iterations, 48 words/thread; amnesic rows establish ~12 checkpoints per run) at three machine scales, serial (workers=1) and through the deterministic parallel engine (workers=N), with the engine off (compile absent) and on (compile=true). strategy=\"\" rows are the NoCkpt reference. Baseline is BENCH_6 (pre-compilation strategy matrix), loaded from the committed file.",
 		GoVersion:   runtime.Version(),
 		HostCPUs:    runtime.GOMAXPROCS(0),
-		Baseline:    benchBaseline,
+		Baseline:    baseline,
 	}
-	dims := append([]ckpt.Kind{-1}, ckpt.Kinds()...)
-	var serial32, parallel32 int64
-	for _, cores := range []int{8, 32} {
-		for _, kind := range dims {
+	var interp32, compiled32, interp32Amn, compiled32Amn int64
+	for _, cores := range []int{8, 16, 32} {
+		for _, kind := range []ckpt.Kind{-1, ckpt.KindAmnesic} {
 			label := "none"
 			if kind >= 0 {
 				label = kind.String()
 			}
 			for _, w := range benchWorkersDim() {
-				name := fmt.Sprintf("cores=%d/strategy=%s/workers=%d", cores, label, w)
-				pt := measureStrategyPoint(t, cores, 10, w, kind, name)
-				doc.Results = append(doc.Results, pt)
-				t.Logf("%s: %d ns/op, %d allocs/op, %.3f sim-MIPS", name, pt.NsPerOp, pt.AllocsPerOp, pt.SimMIPS)
-				if cores == 32 && kind == ckpt.KindAmnesic {
-					if w == 1 {
-						serial32 = pt.NsPerOp
-					} else {
-						parallel32 = pt.NsPerOp
+				base := fmt.Sprintf("cores=%d/strategy=%s/workers=%d", cores, label, w)
+				pair := measureCompilePair(t, cores, 10, w, kind, base)
+				for _, pt := range pair {
+					doc.Results = append(doc.Results, pt)
+					t.Logf("%s: %d ns/op, %d allocs/op, %.3f sim-MIPS", pt.Name, pt.NsPerOp, pt.AllocsPerOp, pt.SimMIPS)
+				}
+				if cores == 32 && w == 1 {
+					switch kind {
+					case -1:
+						interp32, compiled32 = pair[0].NsPerOp, pair[1].NsPerOp
+					case ckpt.KindAmnesic:
+						interp32Amn, compiled32Amn = pair[0].NsPerOp, pair[1].NsPerOp
 					}
 				}
 			}
 		}
 	}
-	if serial32 > 0 && parallel32 > 0 {
-		doc.Speedup32AmnesicParallel = float64(serial32) / float64(parallel32)
+	if compiled32 > 0 {
+		if interp32 > 0 {
+			doc.CompileVsInterp = float64(interp32) / float64(compiled32)
+		}
+		for _, row := range baseline {
+			if row.Name == base32Row {
+				doc.CompileVsBench6 = float64(row.NsPerOp) / float64(compiled32)
+			}
+		}
+		if doc.CompileVsBench6 == 0 {
+			t.Errorf("BENCH_6 baseline is missing row %q; criterion speedup not computed", base32Row)
+		}
 	}
-	if serial32 > 0 {
-		// benchBaseline row "cores=32/ckpt=true/workers=1".
-		doc.Serial32AmnesicVsPR5 = float64(benchBaseline[10].NsPerOp) / float64(serial32)
+	if interp32Amn > 0 && compiled32Amn > 0 {
+		doc.CompileVsInterpAmnesic = float64(interp32Amn) / float64(compiled32Amn)
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")
@@ -217,8 +285,8 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s (32-core amnesic: serial vs BENCH_5 %.2fx, parallel %.2fx at %d host CPUs)",
-		path, doc.Serial32AmnesicVsPR5, doc.Speedup32AmnesicParallel, doc.HostCPUs)
+	t.Logf("wrote %s (32-core serial no-ckpt: compile vs BENCH_6 %.2fx, vs same-run interpreter %.2fx; amnesic %.2fx; %d host CPUs)",
+		path, doc.CompileVsBench6, doc.CompileVsInterp, doc.CompileVsInterpAmnesic, doc.HostCPUs)
 }
 
 // TestBenchAllocBudget is the allocation ceiling on the per-instruction

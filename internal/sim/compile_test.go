@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acr/internal/ckpt"
+	"acr/internal/cpu"
+	"acr/internal/fault"
+	"acr/internal/prog"
+)
+
+// runCompiled runs p under cfg with the block-compilation engine on and
+// returns the result, final memory image and the engine counters.
+func runCompiled(t *testing.T, cfg Config, p *prog.Program, workers int) (Result, []int64, cpu.CompileStats) {
+	t.Helper()
+	cfg.Compile = true
+	cfg.Workers = workers
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, memWords(m, p.DataWords), m.CompileStats()
+}
+
+// TestCompileBitIdentityFuzz is the block-compilation engine's oracle: a
+// sweep of randomized workload shapes, each crossed with every checkpoint
+// strategy and with the serial and parallel drivers, asserting that
+// Compile=true reproduces the interpreter bit-for-bit — the full Result
+// (cycles, instructions, energy totals and per-event counts,
+// checkpoint/AddrMap statistics, recorded timeline) and every data-memory
+// word. Error injection exercises recovery replay through compiled code;
+// RecordTimeline pins observer ordering.
+func TestCompileBitIdentityFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	scenarios := 12
+	workerChoices := []int{1, 4}
+	if testing.Short() {
+		scenarios = 4
+		workerChoices = []int{1}
+	}
+
+	var compiledTotal int64
+	for i := 0; i < scenarios; i++ {
+		cores := []int{4, 8, 16}[rng.Intn(3)]
+		perThread := []int{8, 16, 24}[rng.Intn(3)]
+		iters := 2 + rng.Intn(3)
+		p := testKernel(cores, perThread, iters)
+
+		base := DefaultConfig(cores)
+		if rng.Intn(2) == 1 {
+			base.RecordTimeline = true
+		}
+		ref, refMem, _ := runWorkers(t, base, p, 1)
+
+		// Uncheckpointed serial: the engine's plain-execution oracle.
+		label := "scenario " + string(rune('A'+i)) + "/none"
+		cres, cmem, cs := runCompiled(t, base, p, 1)
+		checkBitIdentical(t, label, ref, cres, refMem, cmem)
+		if cs.CompiledInstrs == 0 {
+			t.Fatalf("%s: engine never ran compiled code", label)
+		}
+		compiledTotal += cs.CompiledInstrs
+
+		for _, kind := range ckpt.Kinds() {
+			cfg := base
+			cfg.Checkpointing = true
+			cfg.Strategy = kind
+			cfg.PeriodCycles = ref.Cycles / int64(3+rng.Intn(3))
+			if rng.Intn(2) == 1 {
+				cfg.Errors = fault.Uniform(1+rng.Intn(2), ref.Cycles, cfg.PeriodCycles/2)
+			}
+			if kind == ckpt.KindAmnesic && rng.Intn(3) == 0 {
+				cfg.AdaptivePlacement = true
+			}
+			for _, workers := range workerChoices {
+				label := "scenario " + string(rune('A'+i)) + "/" + kind.String() +
+					"/workers=" + string(rune('0'+workers))
+				want, wantMem, _ := runWorkers(t, cfg, p, workers)
+				got, gotMem, cs := runCompiled(t, cfg, p, workers)
+				checkBitIdentical(t, label, want, got, wantMem, gotMem)
+				// Speculative rounds bypass the engine by design, so only
+				// serial runs are guaranteed compiled instructions.
+				if workers == 1 && cs.CompiledInstrs == 0 {
+					t.Fatalf("%s: engine never ran compiled code", label)
+				}
+			}
+		}
+	}
+	if compiledTotal == 0 {
+		t.Fatal("no scenario retired compiled instructions")
+	}
+}
+
+// TestCompileDeoptBitIdentity forces the compiler to refuse blocks via the
+// deny hook and checks the interpreter deopt path both executes (the
+// denied blocks retire through Core.Step) and stays bit-identical —
+// including a full deny, where the engine is pure overhead.
+func TestCompileDeoptBitIdentity(t *testing.T) {
+	p := testKernel(8, 16, 3)
+	cfg := DefaultConfig(8)
+	cfg.RecordTimeline = true
+	want, wantMem, _ := runWorkers(t, cfg, p, 1)
+
+	run := func(label string, deny func(start, end int) bool) cpu.CompileStats {
+		t.Helper()
+		c := cfg
+		c.Compile = true
+		m, err := New(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.denyCompile(deny)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBitIdentical(t, label, want, res, wantMem, memWords(m, p.DataWords))
+		return m.CompileStats()
+	}
+
+	cs := run("deny even blocks", func(start, end int) bool { return start%2 == 0 })
+	if cs.Deopts == 0 || cs.InterpSteps == 0 {
+		t.Errorf("partial deny took no deopt path: %+v", cs)
+	}
+	if cs.CompiledInstrs == 0 {
+		t.Errorf("partial deny compiled nothing: %+v", cs)
+	}
+
+	cs = run("deny all blocks", func(start, end int) bool { return true })
+	if cs.CompiledInstrs != 0 || cs.Blocks != 0 {
+		t.Errorf("full deny still compiled: %+v", cs)
+	}
+	if cs.InterpSteps == 0 {
+		t.Errorf("full deny retired nothing through the interpreter: %+v", cs)
+	}
+}
+
+// TestCompileCheckpointedDeopt crosses the deopt path with checkpointing
+// and recovery: denied blocks interleave interpreter steps with compiled
+// quanta while boundaries and rollbacks fire.
+func TestCompileCheckpointedDeopt(t *testing.T) {
+	p := testKernel(8, 16, 3)
+	ref := DefaultConfig(8)
+	base, _, _ := runWorkers(t, ref, p, 1)
+
+	cfg := DefaultConfig(8)
+	cfg.Checkpointing = true
+	cfg.Strategy = ckpt.KindAmnesic
+	cfg.PeriodCycles = base.Cycles / 4
+	cfg.Errors = fault.Uniform(1, base.Cycles, cfg.PeriodCycles/2)
+	want, wantMem, _ := runWorkers(t, cfg, p, 1)
+
+	c := cfg
+	c.Compile = true
+	m, err := New(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.denyCompile(func(start, end int) bool { return start%3 == 0 })
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical(t, "checkpointed deopt", want, res, wantMem, memWords(m, p.DataWords))
+	cs := m.CompileStats()
+	if cs.InterpSteps == 0 || cs.CompiledInstrs == 0 {
+		t.Errorf("mixed path unexercised: %+v", cs)
+	}
+	if res.Ckpt.Recoveries == 0 {
+		t.Error("no recovery fired through the mixed path")
+	}
+}
+
+// TestCompileResultInvariance pins that the engine toggle is invisible to
+// reflect.DeepEqual over the whole Result — the structural guarantee the
+// bench memo key relies on to share cells across -compile (cpu.CompileStats
+// is deliberately outside Result).
+func TestCompileResultInvariance(t *testing.T) {
+	p := testKernel(tThreads, tPer, tIters)
+	cfg := DefaultConfig(tThreads)
+	cfg.RecordTimeline = true
+	want, wantMem, _ := runWorkers(t, cfg, p, 1)
+	got, gotMem, _ := runCompiled(t, cfg, p, 1)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("results differ:\ninterp:   %+v\ncompiled: %+v", want, got)
+	}
+	checkBitIdentical(t, "invariance", want, got, wantMem, gotMem)
+}

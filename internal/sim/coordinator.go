@@ -146,6 +146,8 @@ func (co *ckptCoordinator) establish() {
 		m.meter.Add(energy.HandlerOp, uint64(g.Cores))
 	}
 	m.sched.noteClock(maxRelease)
+	// The releases moved running cores' clocks without a state transition.
+	m.sched.clocksMoved()
 
 	switch {
 	case co.roiPending && tMax >= m.cfg.ROIStartCycles:

@@ -87,6 +87,15 @@ type Config struct {
 	// MaxSteps bounds total instruction executions as a runaway guard.
 	MaxSteps int64
 
+	// Compile enables the block-compilation execution engine: basic
+	// blocks of the program are compiled once into straight-line Go
+	// closures and retired without per-instruction dispatch, with the
+	// interpreter as the deopt fallback (unhandled blocks, speculative
+	// rounds). Results are bit-identical to Compile=false for every
+	// configuration; only wall-clock time changes — like Workers, the
+	// knob is a speed seam, not a semantic one.
+	Compile bool
+
 	// Workers selects intra-run parallelism: up to Workers OS threads
 	// execute independent cores' quanta concurrently in conflict-checked
 	// speculative rounds (parallel.go), committing in the serial merge
@@ -234,6 +243,7 @@ type Machine struct {
 	mgr     *ckpt.Manager
 
 	sched     *scheduler
+	runner    *cpu.BlockRunner
 	coord     coordinator
 	recov     recoverer
 	observers []Observer
@@ -359,7 +369,33 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		m.timeline = &timelineRecorder{cap: cfg.TimelineCap}
 		m.observers = append(m.observers, m.timeline)
 	}
+	if cfg.Compile {
+		// Block discovery cannot fail on a Validate-clean program; if a
+		// pathological image defeats it anyway, the run deopts wholesale
+		// to the interpreter — Compile never changes results, so it must
+		// never change runnability either.
+		if table, err := analysis.BuildBlockTable(p.Code, p.Entry); err == nil {
+			m.runner = cpu.NewBlockRunner(p, table, m.sys, m.tracker, m, cfg.Amnesic)
+		}
+	}
 	return m, nil
+}
+
+// CompileStats returns the block-engine counters (zero value when the
+// engine is off). Like ParallelStats, the counters are diagnostics, not
+// part of the architectural Result.
+func (m *Machine) CompileStats() cpu.CompileStats {
+	if m.runner == nil {
+		return cpu.CompileStats{}
+	}
+	return m.runner.Stats()
+}
+
+// denyCompile installs the block-compile veto (test hook forcing deopts).
+func (m *Machine) denyCompile(deny func(start, end int) bool) {
+	if m.runner != nil {
+		m.runner.SetDeny(deny)
+	}
 }
 
 // Mem exposes the memory system for result verification.
@@ -419,6 +455,17 @@ func (m *Machine) Run() (Result, error) {
 }
 
 func (m *Machine) runSerial() (Result, error) {
+	// The armed-event queries are cached across quanta: next() depends
+	// only on state the event handlers themselves mutate (checkpoint
+	// schedule and budget in onBoundary/establish, the fault schedule's
+	// cursor in recover), so the cache is refreshed exactly after a
+	// handler runs instead of re-querying two interfaces per pick.
+	ckptTime, haveCkpt := m.coord.next()
+	errOccur, errDetect, haveErr := m.recov.next()
+	refresh := func() {
+		ckptTime, haveCkpt = m.coord.next()
+		errOccur, errDetect, haveErr = m.recov.next()
+	}
 	for {
 		if m.sched.halted() == len(m.cores) {
 			break
@@ -426,6 +473,7 @@ func (m *Machine) runSerial() (Result, error) {
 		if m.sched.running() == 0 {
 			if m.sched.atBarrier() > 0 {
 				m.releaseBarrier()
+				refresh()
 				continue
 			}
 			return Result{}, errors.New("sim: no runnable cores (scheduling bug)")
@@ -435,44 +483,63 @@ func (m *Machine) runSerial() (Result, error) {
 		horizon := c.Cycles()
 
 		// Timed events up to the horizon, in timestamp order.
-		ckptTime, haveCkpt := m.coord.next()
-		haveCkpt = haveCkpt && ckptTime <= horizon
-		errOccur, errDetect, haveErr := m.recov.next()
-		haveErr = haveErr && errDetect <= horizon
+		ckptDue := haveCkpt && ckptTime <= horizon
+		errDue := haveErr && errDetect <= horizon
 		switch {
-		case haveCkpt && (!haveErr || ckptTime <= errDetect):
+		case ckptDue && (!errDue || ckptTime <= errDetect):
 			m.coord.onBoundary()
+			refresh()
 			continue
-		case haveErr:
+		case errDue:
 			if err := m.recov.recover(errOccur, errDetect); err != nil {
 				return Result{}, err
 			}
+			refresh()
 			continue
 		}
 
 		// No event before the horizon: run the quantum. The bound shrinks
 		// to the next armed event so the event fires exactly when the
 		// minimum clock reaches it, as before.
-		if t, ok := m.coord.next(); ok && t < bound {
-			bound = t
+		if haveCkpt && ckptTime < bound {
+			bound = ckptTime
 		}
-		if _, detect, ok := m.recov.next(); ok && detect < bound {
-			bound = detect
+		if haveErr && errDetect < bound {
+			bound = errDetect
 		}
+		if err := m.stepSpan(c, bound); err != nil {
+			return Result{}, err
+		}
+	}
+	return m.result(), nil
+}
+
+// stepSpan executes one quantum of core c: instructions retire until the
+// core leaves the Running state or its clock reaches bound, through the
+// compiled-block engine when it is on and the interpreter otherwise. The
+// MaxSteps runaway guard keeps the interpreter's exact semantics — the
+// instruction that exceeds the budget retires first, then the run fails.
+// Energy flushes once per quantum instead of once per instruction; counts
+// are commutative, so totals stay bit-identical.
+func (m *Machine) stepSpan(c *cpu.Core, bound int64) error {
+	if m.runner != nil {
+		m.steps += m.runner.Run(c, bound, m.cfg.MaxSteps-m.steps+1)
+	} else {
 		for c.State == cpu.Running && c.Cycles() < bound {
 			c.Step(m.program, m.sys, m.tracker, m)
 			m.steps++
 			if m.steps > m.cfg.MaxSteps {
-				c.FlushAccounting(m.meter)
-				return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+				break
 			}
 		}
-		// One meter flush per quantum instead of one Add per instruction;
-		// counts are commutative, so totals stay bit-identical.
-		c.FlushAccounting(m.meter)
-		m.sched.noteClock(c.Cycles())
 	}
-	return m.result(), nil
+	if m.steps > m.cfg.MaxSteps {
+		c.FlushAccounting(m.meter)
+		return fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
+	}
+	c.FlushAccounting(m.meter)
+	m.sched.noteClock(c.Cycles())
+	return nil
 }
 
 // releaseBarrier resumes all barrier-waiting cores at the synchronised time,

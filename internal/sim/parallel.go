@@ -334,6 +334,8 @@ func (e *parallelEngine) commit() error {
 		m.parStats.SpecInstrs += d
 	}
 	m.parStats.Committed++
+	// The committed quanta moved many cores' clocks at once.
+	m.sched.clocksMoved()
 	return nil
 }
 
@@ -350,6 +352,8 @@ func (e *parallelEngine) abort() {
 		}
 	}
 	m.parStats.Aborted++
+	// The roll-back rewound clocks the heap had already ordered.
+	m.sched.clocksMoved()
 }
 
 // serialSpan re-executes an aborted round's span through the serial
@@ -379,16 +383,9 @@ func (m *Machine) serialSpan(h int64) error {
 		if bound > h {
 			bound = h
 		}
-		for c.State == cpu.Running && c.Cycles() < bound {
-			c.Step(m.program, m.sys, m.tracker, m)
-			m.steps++
-			if m.steps > m.cfg.MaxSteps {
-				c.FlushAccounting(m.meter)
-				return fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
-			}
+		if err := m.stepSpan(c, bound); err != nil {
+			return err
 		}
-		c.FlushAccounting(m.meter)
-		m.sched.noteClock(c.Cycles())
 	}
 }
 
@@ -455,16 +452,9 @@ func (m *Machine) runParallel() (Result, error) {
 			if _, detect, ok := m.recov.next(); ok && detect < bound {
 				bound = detect
 			}
-			for c.State == cpu.Running && c.Cycles() < bound {
-				c.Step(m.program, m.sys, m.tracker, m)
-				m.steps++
-				if m.steps > m.cfg.MaxSteps {
-					c.FlushAccounting(m.meter)
-					return Result{}, fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
-				}
+			if err := m.stepSpan(c, bound); err != nil {
+				return Result{}, err
 			}
-			c.FlushAccounting(m.meter)
-			m.sched.noteClock(c.Cycles())
 			m.parStats.SerialQuanta++
 			continue
 		}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"acr/internal/cpu"
 )
@@ -59,6 +60,36 @@ type scheduler struct {
 	// max clock over non-halted cores at every consultation point.
 	clockHi   int64
 	liveStale bool
+
+	// bkts is a calendar queue over the running cores: one bucket per
+	// distinct clock value, sorted ascending from index bhd, each holding
+	// the bitmask of core ids at that clock. The reference pick scans
+	// every core per pick, which at 32 cores touches 32 scattered Core
+	// structs — a cache-line walk that dominated the run-loop profile.
+	// Here a pick is O(1): the best core is the lowest set bit of the
+	// front bucket, and the bound needs at most the front and second
+	// buckets (see pick). Between picks only the picked core's clock
+	// moves (quantum isolation), so maintenance is one sorted reinsertion
+	// near the front; any event that changes the running population or
+	// moves other cores' clocks (state transitions, checkpoint releases,
+	// recovery rewinds, parallel-round commits) marks the queue stale and
+	// the next pick rebuilds it, which keeps maintenance O(events ×
+	// cores) like the population counters. Machines wider than 64 cores
+	// fall back to the reference scan (wide).
+	bkts      []pickBkt
+	bhd       int
+	pickStale bool
+	// lastIdx is the core id removed by the previous pick whose bit is
+	// pending reinsertion at its advanced clock, -1 if none.
+	lastIdx int
+	wide    bool
+}
+
+// pickBkt is one calendar-queue bucket: the set of running cores (by id
+// bit) whose clock equals cyc.
+type pickBkt struct {
+	cyc  int64
+	mask uint64
 }
 
 // unbounded is the quantum bound when no other core constrains the pick
@@ -72,7 +103,15 @@ var debugCheckAggregates bool
 // newScheduler attaches the state hook to every core and seeds the
 // population counters.
 func newScheduler(cores []*cpu.Core) *scheduler {
-	s := &scheduler{cores: cores}
+	// Bucket storage never reallocates: ≤ 64 live buckets plus ≤ 64 dead
+	// front entries between compactions (see pick).
+	s := &scheduler{
+		cores:     cores,
+		bkts:      make([]pickBkt, 0, 160),
+		pickStale: true,
+		lastIdx:   -1,
+		wide:      len(cores) > 64,
+	}
 	for _, c := range cores {
 		s.counts[c.State]++
 		c.OnState = s.transition
@@ -84,6 +123,8 @@ func newScheduler(cores []*cpu.Core) *scheduler {
 func (s *scheduler) transition(c *cpu.Core, from, to cpu.State) {
 	s.counts[from]--
 	s.counts[to]++
+	// The running population changed; the pick queue no longer mirrors it.
+	s.pickStale = true
 	switch to {
 	case cpu.AtBarrier:
 		if t := c.Cycles(); t > s.barrierMax {
@@ -130,7 +171,15 @@ func (s *scheduler) noteClock(t int64) {
 func (s *scheduler) invalidate() {
 	s.barrierStale = true
 	s.liveStale = true
+	s.pickStale = true
 }
+
+// clocksMoved reports that clocks of cores other than the last-picked one
+// advanced without a state transition (checkpoint releases, parallel-round
+// commits), so the pick queue's cached clocks can no longer be trusted.
+//
+//acr:noalloc
+func (s *scheduler) clocksMoved() { s.pickStale = true }
 
 func (s *scheduler) running() int   { return s.counts[cpu.Running] }
 func (s *scheduler) atBarrier() int { return s.counts[cpu.AtBarrier] }
@@ -142,8 +191,79 @@ func (s *scheduler) halted() int    { return s.counts[cpu.Halted] }
 // lower-id peer takes over at clock equality, so it bounds at its clock; a
 // higher-id peer loses ties, so it bounds one cycle later. The caller must
 // ensure at least one core is running.
-// The two scans (best-core selection, bound computation) are fused into
-// one pass in core-id order. When a core displaces the current best, the
+//
+// The answer is served from the calendar queue. The best core is the
+// lowest set bit of the front (minimum-clock) bucket: every other core in
+// that bucket has the same clock and a higher id. Writing limit(c) =
+// c.Cycles() + (1 if c.ID > best.ID else 0), the bound is the minimum
+// limit over all non-best cores (exactly what pickScan computes):
+//
+//   - the front bucket's remaining cores contribute cyc+1 (higher ids);
+//   - the second bucket at cyc2 > cyc contributes cyc2 if it holds a core
+//     with a lower id than best's, else cyc2+1;
+//   - every later bucket at cyc3 > cyc2 contributes at least cyc3 ≥
+//     cyc2+1, which the second bucket's contribution never exceeds, so
+//     later buckets can be ignored — and when the front bucket still has
+//     cores, its cyc+1 ≤ cyc2 dominates everything else.
+//
+// The picked core's bit is removed here and reinserted at its advanced
+// clock on the next pick (quantum isolation: nothing else moves between
+// picks); events that move other clocks or change the running set mark
+// the queue stale (transition, invalidate, clocksMoved) and it is rebuilt
+// here. Machines wider than 64 core-id bits use the reference scan.
+//
+//acr:noalloc
+func (s *scheduler) pick() (*cpu.Core, int64) {
+	if s.wide {
+		return s.pickScan()
+	}
+	if s.pickStale {
+		s.rebuildBkts()
+	} else if s.lastIdx >= 0 {
+		c := s.cores[s.lastIdx]
+		s.insertBkt(c.Cycles(), uint(s.lastIdx))
+		s.lastIdx = -1
+	}
+	if s.bhd == len(s.bkts) {
+		return nil, unbounded
+	}
+	if s.bhd >= 64 {
+		// Compact dead front entries so the backing array never grows
+		// past its fixed capacity.
+		n := copy(s.bkts, s.bkts[s.bhd:])
+		s.bkts = s.bkts[:n]
+		s.bhd = 0
+	}
+	f := &s.bkts[s.bhd]
+	bit := bits.TrailingZeros64(f.mask)
+	best := s.cores[bit]
+	f.mask &^= 1 << uint(bit)
+	bound := unbounded
+	if f.mask != 0 {
+		bound = f.cyc + 1
+	} else {
+		s.bhd++
+		if s.bhd < len(s.bkts) {
+			n := &s.bkts[s.bhd]
+			if n.mask&((1<<uint(bit))-1) != 0 {
+				bound = n.cyc
+			} else {
+				bound = n.cyc + 1
+			}
+		}
+	}
+	s.lastIdx = bit
+	if debugCheckAggregates {
+		if sb, sbound := s.pickScan(); sb != best || sbound != bound {
+			panic(fmt.Sprintf("sim: calendar pick (core %d, bound %d) != scan pick (core %d, bound %d)",
+				best.ID, bound, sb.ID, sbound))
+		}
+	}
+	return best, bound
+}
+
+// pickScan is the reference O(cores) fused scan pick retains as the debug
+// oracle for the heap. When a core displaces the current best, the
 // displaced best bounds at exactly its clock (it has the lower id, so it
 // takes over at equality); a non-best core seen while some lower-id best
 // holds bounds at clock+1 (it loses ties). A candidate's provisional
@@ -153,7 +273,7 @@ func (s *scheduler) halted() int    { return s.counts[cpu.Halted] }
 // two-pass result.
 //
 //acr:noalloc
-func (s *scheduler) pick() (*cpu.Core, int64) {
+func (s *scheduler) pickScan() (*cpu.Core, int64) {
 	var best *cpu.Core
 	bound := unbounded
 	for _, c := range s.cores {
@@ -175,6 +295,42 @@ func (s *scheduler) pick() (*cpu.Core, int64) {
 		}
 	}
 	return best, bound
+}
+
+// rebuildBkts re-seeds the calendar queue from the running population.
+//
+//acr:noalloc
+func (s *scheduler) rebuildBkts() {
+	s.bkts = s.bkts[:0]
+	s.bhd = 0
+	for i, c := range s.cores {
+		if c.State == cpu.Running {
+			s.insertBkt(c.Cycles(), uint(i))
+		}
+	}
+	s.pickStale = false
+	s.lastIdx = -1
+}
+
+// insertBkt adds core id bit at clock cyc, keeping buckets sorted from
+// bhd. Reinsertion clocks sit at or just past the front, so the linear
+// probe is short.
+//
+//acr:noalloc
+func (s *scheduler) insertBkt(cyc int64, bit uint) {
+	b := s.bkts
+	i := s.bhd
+	for i < len(b) && b[i].cyc < cyc {
+		i++
+	}
+	if i < len(b) && b[i].cyc == cyc {
+		b[i].mask |= 1 << bit
+		return
+	}
+	b = append(b, pickBkt{}) //acr:alloc-ok capacity fixed at construction; pick compacts before it can overflow
+	copy(b[i+1:], b[i:len(b)-1])
+	b[i] = pickBkt{cyc: cyc, mask: 1 << bit}
+	s.bkts = b
 }
 
 // syncTime returns the latest clock among barrier-waiting cores plus their
