@@ -71,6 +71,7 @@ func main() {
 	threshold := flag.Int("threshold", 0, "Slice-length threshold override (0 = benchmark default)")
 	workers := flag.Int("workers", 1, "intra-run simulation workers (>1 = parallel engine, bit-identical to serial; 0 = GOMAXPROCS)")
 	compileFlag := flag.String("compile", "off", "block-compilation engine: off|on|auto (bit-identical to the interpreter; on requires -workers 1, auto compiles serial executions only)")
+	coalesce := flag.Bool("coalesce", true, "scheduler quantum coalescing (bit-identical to the flat scheduler; only wall clock changes)")
 	strategy := flag.String("strategy", "", "checkpoint-strategy override: full|amnesic|differential|tiered|auto (aliases: diff, tier); keeps -config's _E/,Loc modifiers")
 	listStrategies := flag.Bool("list-strategies", false, "list the checkpoint strategies and exit")
 	verbose := flag.Bool("v", false, "print checkpoint interval details")
@@ -129,6 +130,7 @@ func main() {
 	r := bench.NewRunner()
 	r.SimWorkers = simWorkers
 	r.SimCompile = simCompile
+	r.SimCoalesce = *coalesce
 
 	var registry *obsrv.Registry
 	var server *obsrv.Server
@@ -242,7 +244,7 @@ func exportTelemetry(r *bench.Runner, benchName string, p bench.Params, spec ben
 	want sim.Result, mainWorkers int, traceOut, metricsOut, profileOut string) error {
 	reg := telemetry.NewRegistry()
 	col := telemetry.NewCollector(reg)
-	obs := []sim.Observer{col}
+	obs := []sim.Observer{col, telemetry.NewSchedCollector(reg)}
 
 	var tracer *telemetry.Tracer
 	if traceOut != "" {

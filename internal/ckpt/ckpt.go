@@ -21,7 +21,6 @@ package ckpt
 
 import (
 	"fmt"
-	"math/bits"
 
 	"acr/internal/core"
 	"acr/internal/cpu"
@@ -157,8 +156,10 @@ type EstablishInfo struct {
 
 // GroupInfo is the per-group establishment cost basis.
 type GroupInfo struct {
-	Mask uint64
-	// Cores is the population of Mask.
+	// Members is the group's core set (multi-word: machines past 64 cores
+	// are first-class).
+	Members mem.CoreSet
+	// Cores is the population of Members.
 	Cores int
 	// FlushedWords is the dirty data written back for this group.
 	FlushedWords int
@@ -226,8 +227,9 @@ type Manager struct {
 	intervals []IntervalStat
 	curStat   IntervalStat
 	// logWordsByCore attributes the closing interval's log traffic to its
-	// writing cores, for per-group establishment costing under Local.
-	logWordsByCore [64]int64
+	// writing cores (len = core count), for per-group establishment costing
+	// under Local.
+	logWordsByCore []int64
 	stats          Stats
 	nextSeq        int64
 }
@@ -247,7 +249,8 @@ func NewManager(kind Kind, mode Mode, sys *mem.System, meter *energy.Meter, acr 
 	if kind.GlobalOnly() && mode != Global {
 		return nil, fmt.Errorf("ckpt: strategy %v requires global coordination", kind)
 	}
-	m := &Manager{strat: newStrategy(kind, sys.Words()), mode: mode, sys: sys, meter: meter, acr: acr}
+	m := &Manager{strat: newStrategy(kind, sys.Words()), mode: mode, sys: sys, meter: meter, acr: acr,
+		logWordsByCore: make([]int64, sys.NCores())}
 	m.snaps = append(m.snaps, &Snapshot{Seq: 0, Time: 0, Arch: append([]cpu.ArchState(nil), arch...)})
 	m.logs = append(m.logs, nil)
 	m.nextSeq = 1
@@ -328,6 +331,37 @@ func (m *Manager) PredictFirstStore(addr, old int64, scratch []int64) int64 {
 	return m.strat.Predict(m, addr, old, scratch)
 }
 
+// groupLogWords sums the interval's logged words over the group's members.
+// The plain indexed loop (rather than CoreSet.ForEach with a closure) keeps
+// the per-checkpoint path allocation-free.
+//
+//acr:noalloc
+func (m *Manager) groupLogWords(set mem.CoreSet) int {
+	t := int64(0)
+	for c, w := range m.logWordsByCore {
+		if set.Has(c) {
+			t += w
+		}
+	}
+	return int(t)
+}
+
+// asGroup assembles one coordination group's traffic summary.
+//
+//acr:noalloc
+func (m *Manager) asGroup(set mem.CoreSet, cores, archWordsPer int, fastLogs bool) GroupInfo {
+	g := GroupInfo{
+		Members: set, Cores: cores,
+		ArchWords: archWordsPer * cores,
+	}
+	if fastLogs {
+		g.FastLogWords = m.groupLogWords(set)
+	} else {
+		g.LogWords = m.groupLogWords(set)
+	}
+	return g
+}
+
 // Establish creates a checkpoint at the given time from the cores'
 // architectural states. Under Local mode, groups are the current
 // communication components; under Global there is a single group. The
@@ -343,39 +377,18 @@ func (m *Manager) Establish(time int64, arch []cpu.ArchState) EstablishInfo {
 	}
 	lineWords := m.sys.Config().LineWords
 
-	logWords := func(mask uint64) int {
-		t := int64(0)
-		for c := 0; c < 64; c++ {
-			if mask&(1<<uint(c)) != 0 {
-				t += m.logWordsByCore[c]
-			}
-		}
-		return int(t)
-	}
-	asGroup := func(mask uint64, cores int) GroupInfo {
-		g := GroupInfo{
-			Mask: mask, Cores: cores,
-			ArchWords: archWordsPer * cores,
-		}
-		if seal.LogsToFastTier {
-			g.FastLogWords = logWords(mask)
-		} else {
-			g.LogWords = logWords(mask)
-		}
-		return g
-	}
 	if m.mode == Global {
-		mask := m.sys.AllCoresMask()
-		flushed := m.sys.FlushDirty(mask)
-		g := asGroup(mask, len(arch))
+		all := m.sys.AllCores()
+		flushed := m.sys.FlushDirty(all)
+		g := m.asGroup(all, len(arch), archWordsPer, seal.LogsToFastTier)
 		g.FlushedWords = flushed * lineWords
 		info.Groups = []GroupInfo{g}
-		m.sys.NewInterval(mask, true)
+		m.sys.NewInterval(all, true)
 	} else {
 		groups := m.sys.CommGroups()
 		for _, gm := range groups {
 			flushed := m.sys.FlushDirty(gm)
-			g := asGroup(gm, bits.OnesCount64(gm))
+			g := m.asGroup(gm, gm.Count(), archWordsPer, seal.LogsToFastTier)
 			g.FlushedWords = flushed * lineWords
 			info.Groups = append(info.Groups, g)
 		}
@@ -387,7 +400,7 @@ func (m *Manager) Establish(time int64, arch []cpu.ArchState) EstablishInfo {
 	// drains with the first — under the global-only strategies, the only —
 	// group.
 	info.Groups[0].LogWords += seal.ExtraSlowWords
-	m.logWordsByCore = [64]int64{}
+	clear(m.logWordsByCore)
 
 	// Architectural state goes to the in-memory checkpoint area.
 	m.meter.Add(energy.RegCkpt, uint64(archWordsPer*len(arch)))
@@ -476,7 +489,7 @@ func (m *Manager) Rollback(target *Snapshot, nCores int) (RollbackInfo, error) {
 	m.snaps = append(m.snaps[:0], target)
 	m.curStat = IntervalStat{}
 
-	m.sys.NewInterval(m.sys.AllCoresMask(), true)
+	m.sys.NewInterval(m.sys.AllCores(), true)
 	if m.acr != nil {
 		m.acr.OnRecovery()
 	}

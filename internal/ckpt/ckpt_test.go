@@ -34,7 +34,7 @@ func newRig(t *testing.T, mode Mode, amnesic bool, nCores int) *rig {
 func newKindRig(t *testing.T, kind Kind, mode Mode, nCores int) *rig {
 	t.Helper()
 	meter := energy.NewMeter(nil)
-	sys := mem.NewSystem(mem.DefaultConfig(), nCores, 4096, meter)
+	sys := mem.MustNewSystem(mem.DefaultConfig(), nCores, 4096, meter)
 	arch := make([]cpu.ArchState, nCores)
 	r := &rig{sys: sys, meter: meter}
 	if kind.Amnesic() {
@@ -277,7 +277,7 @@ func TestLocalEstablishGroups(t *testing.T) {
 	if len(info.Groups) != 3 {
 		t.Fatalf("groups = %d, want 3", len(info.Groups))
 	}
-	if info.Groups[0].Mask != 0b0011 || info.Groups[0].Cores != 2 {
+	if info.Groups[0].Members[0] != 0b0011 || info.Groups[0].Cores != 2 {
 		t.Errorf("group 0 = %+v", info.Groups[0])
 	}
 	// Each group flushed only its own dirty data.

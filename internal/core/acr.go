@@ -73,8 +73,14 @@ type AddrMapStats struct {
 // released; they hold capacity, as in the hardware.
 type AddrMap struct {
 	// table holds slot+1 of the record mapped at each probe position;
-	// 0 marks an empty slot. len(table) is a power of two ≥ 2×capacity,
-	// so the load factor never exceeds one half.
+	// 0 marks an empty slot. len(table) is a power of two kept ≥ 2× the
+	// mapped population (growTable doubles it on demand), so the load
+	// factor never exceeds one half. Sizing the table by live mappings
+	// instead of by capacity keeps it cache-resident: capacity scales
+	// with the machine (cores × per-core budget), and a capacity-sized
+	// table on a 128-core machine is megabytes of mostly-empty slots
+	// whose cold misses dominate the store path. Growth only rehashes —
+	// probe layout is not architectural state, so results are unchanged.
 	table []int32
 	shift uint // 64 - log2(len(table)), for the multiplicative hash
 
@@ -105,7 +111,7 @@ func NewAddrMap(capacity int) *AddrMap {
 		capacity = 1
 	}
 	tableLen := 16
-	for tableLen < 2*capacity {
+	for tableLen < 2*capacity && tableLen < 4096 {
 		tableLen *= 2
 	}
 	blockBits := uint(bits.Len(uint(capacity - 1)))
@@ -283,6 +289,9 @@ func (m *AddrMap) Assoc(core int, addr int64, sl *slice.Compiled) bool {
 		m.stats.Rejected++
 		return false
 	}
+	if 2*(m.mapped+1) > len(m.table) {
+		m.growTable()
+	}
 	if old != nil {
 		m.stats.Superseded++
 		if old.Slice == sl {
@@ -306,6 +315,20 @@ func (m *AddrMap) Assoc(core int, addr int64, sl *slice.Compiled) bool {
 		m.stats.PeakInputWords = m.inputWords
 	}
 	return true
+}
+
+// growTable doubles the probe table and rehashes every mapped record.
+// Amortized O(1) per insertion; the rehash changes only the internal probe
+// layout, never which records are mapped, so it is invisible to results.
+func (m *AddrMap) growTable() {
+	old := m.table
+	m.table = make([]int32, 2*len(old))
+	m.shift = uint(64 - bits.Len(uint(len(m.table)-1)))
+	for _, e := range old {
+		if e != 0 {
+			m.tableInsert(m.rec(e-1).Addr, e-1)
+		}
+	}
 }
 
 // unmap removes rec from the address mapping, retaining it while pinned.

@@ -37,7 +37,7 @@ func run(t *testing.T, p *prog.Program, hooks Hooks, tr *slice.Tracker) (*Core, 
 	if words == 0 {
 		words = 64
 	}
-	m := mem.NewSystem(mem.DefaultConfig(), 1, words, meter)
+	m := mem.MustNewSystem(mem.DefaultConfig(), 1, words, meter)
 	if p.Init != nil {
 		buf := make([]int64, words)
 		p.Init(buf)
@@ -215,7 +215,7 @@ func TestBarrierAndHaltStates(t *testing.T) {
 	b.Halt()
 	p := b.MustBuild()
 	meter := energy.NewMeter(nil)
-	m := mem.NewSystem(mem.DefaultConfig(), 1, 64, meter)
+	m := mem.MustNewSystem(mem.DefaultConfig(), 1, 64, meter)
 	c := New(0, p.Entry, 1)
 	c.Step(p, m, nil, nil)
 	if c.State != AtBarrier {

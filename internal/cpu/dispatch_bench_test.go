@@ -35,7 +35,7 @@ func dispatchKernel(iters int) *prog.Program {
 func dispatchSetup(tb testing.TB, p *prog.Program) (*Core, *mem.System) {
 	tb.Helper()
 	meter := energy.NewMeter(nil)
-	sys := mem.NewSystem(mem.DefaultConfig(), 1, p.DataWords, meter)
+	sys := mem.MustNewSystem(mem.DefaultConfig(), 1, p.DataWords, meter)
 	c := New(0, p.Entry, 1)
 	return c, sys
 }

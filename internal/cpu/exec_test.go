@@ -24,7 +24,7 @@ func TestEveryALUOpMatchesEvalALU(t *testing.T) {
 		isa.FSQRT, isa.FMA, isa.CVTF, isa.CVTI, isa.FLT,
 	}
 	meter := energy.NewMeter(nil)
-	m := mem.NewSystem(mem.DefaultConfig(), 1, 64, meter)
+	m := mem.MustNewSystem(mem.DefaultConfig(), 1, 64, meter)
 	for _, op := range aluOps {
 		for trial := 0; trial < 20; trial++ {
 			a, bv, cv := rng.Int63(), rng.Int63(), rng.Int63()
@@ -47,7 +47,7 @@ func TestEveryALUOpMatchesEvalALU(t *testing.T) {
 
 func TestUntakenBranchFallsThrough(t *testing.T) {
 	meter := energy.NewMeter(nil)
-	m := mem.NewSystem(mem.DefaultConfig(), 1, 64, meter)
+	m := mem.MustNewSystem(mem.DefaultConfig(), 1, 64, meter)
 	p := &prog.Program{Name: "b", Code: []isa.Instr{
 		{Op: isa.BNE, Rs: 0, Rt: 0, Imm: 0}, // never taken (r0 == r0)
 		{Op: isa.HALT},
@@ -70,7 +70,7 @@ func TestAssocDisabledIsFree(t *testing.T) {
 
 	run := func(enabled bool) (int64, int64) {
 		meter := energy.NewMeter(nil)
-		m := mem.NewSystem(mem.DefaultConfig(), 1, 8, meter)
+		m := mem.MustNewSystem(mem.DefaultConfig(), 1, 8, meter)
 		c := New(0, 0, 1)
 		c.AssocEnabled = enabled
 		for c.State == Running {
@@ -88,7 +88,7 @@ func TestAssocDisabledIsFree(t *testing.T) {
 
 func TestStepPanicsOnHaltedCore(t *testing.T) {
 	meter := energy.NewMeter(nil)
-	m := mem.NewSystem(mem.DefaultConfig(), 1, 8, meter)
+	m := mem.MustNewSystem(mem.DefaultConfig(), 1, 8, meter)
 	p := &prog.Program{Name: "h", Code: []isa.Instr{{Op: isa.HALT}}}
 	c := New(0, 0, 1)
 	c.Step(p, m, nil, nil)

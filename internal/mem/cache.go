@@ -28,9 +28,12 @@ func (c CacheConfig) Sets() int { return c.Lines() / c.Ways }
 
 // way packs one cache way's metadata (tag, LRU stamp, dirty bit) into a
 // single slice element so an Access touches one contiguous span per set
-// instead of three parallel arrays.
+// instead of three parallel arrays. The tag stores line+1 so the zero
+// value means invalid: a fresh cache is all-zero memory and construction
+// needs no initialization pass over the line array — at 256 cores that
+// pass was a visible slice of machine-construction time.
 type way struct {
-	tag   int64 // -1 = invalid
+	tag   int64 // line+1; 0 = invalid
 	tick  uint64
 	dirty bool
 }
@@ -61,6 +64,19 @@ type Cache struct {
 	jWays     []way
 	jMRU      []int32
 	jTick     uint64
+
+	// dirtySets lists the sets that may hold dirty lines, so the flush
+	// scans touch O(dirty sets × ways) entries instead of every line —
+	// the full-array scan at every checkpoint was the dominant cost of
+	// amnesic runs on wide machines, where the combined line arrays
+	// outgrow the last-level cache. The list over-approximates: a
+	// flagged set's dirty lines may since have been evicted, which the
+	// per-line dirty bits resolve at flush time. dirtyEpoch[set] ==
+	// dirtyCur marks membership (bumping dirtyCur empties the list in
+	// O(1)); capacity is fixed at sets so noteDirty never reallocates.
+	dirtySets  []int32
+	dirtyEpoch []uint32
+	dirtyCur   uint32
 }
 
 // NewCache builds a cache from cfg. Sets must be a power of two.
@@ -69,12 +85,37 @@ func NewCache(cfg CacheConfig) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("mem: cache sets %d not a positive power of two (cfg %+v)", sets, cfg))
 	}
-	c := &Cache{sets: sets, ways: cfg.Ways,
-		lines: make([]way, sets*cfg.Ways), mru: make([]int32, sets)}
-	for i := range c.lines {
-		c.lines[i].tag = -1
+	return &Cache{sets: sets, ways: cfg.Ways,
+		lines: make([]way, sets*cfg.Ways), mru: make([]int32, sets),
+		dirtySets:  make([]int32, 0, sets),
+		dirtyEpoch: make([]uint32, sets),
+		dirtyCur:   1,
 	}
-	return c
+}
+
+// noteDirty flags set as possibly holding dirty lines. Spec-safe without
+// journaling: the list over-approximates by contract, so a flag left by an
+// aborted round is harmless — flush re-checks the per-line dirty bits,
+// which the journal does restore.
+//
+//acr:noalloc
+//acr:spec-safe
+func (c *Cache) noteDirty(set int) {
+	if c.dirtyEpoch[set] == c.dirtyCur {
+		return
+	}
+	c.dirtyEpoch[set] = c.dirtyCur
+	c.dirtySets = append(c.dirtySets, int32(set)) //acr:alloc-ok capacity fixed at sets in NewCache; each set appends at most once per epoch
+}
+
+// clearDirtySets empties the dirty-set list.
+func (c *Cache) clearDirtySets() {
+	c.dirtySets = c.dirtySets[:0]
+	c.dirtyCur++
+	if c.dirtyCur == 0 { // epoch wrapped: hard-clear stale stamps
+		clear(c.dirtyEpoch)
+		c.dirtyCur = 1
+	}
 }
 
 // Access looks up line; on miss it allocates, evicting the LRU way.
@@ -90,16 +131,18 @@ func NewCache(cfg CacheConfig) *Cache {
 //
 //acr:spec-safe
 func (c *Cache) Access(line int64, markDirty bool) (hit bool, evicted int64, evictedDirty bool) {
+	key := line + 1
 	set := int(uint64(line) & uint64(c.sets-1))
 	base := set * c.ways
 	if c.spec {
 		c.journalTouch(set, base)
 	}
 	c.tick++
-	if m := &c.lines[base+int(c.mru[set])]; m.tag == line {
+	if m := &c.lines[base+int(c.mru[set])]; m.tag == key {
 		m.tick = c.tick
 		if markDirty {
 			m.dirty = true
+			c.noteDirty(set)
 		}
 		return true, -1, false
 	}
@@ -107,10 +150,11 @@ func (c *Cache) Access(line int64, markDirty bool) (hit bool, evicted int64, evi
 	for w := 0; w < c.ways; w++ {
 		i := base + w
 		ln := &c.lines[i]
-		if ln.tag == line {
+		if ln.tag == key {
 			ln.tick = c.tick
 			if markDirty {
 				ln.dirty = true
+				c.noteDirty(set)
 			}
 			c.mru[set] = int32(w)
 			return true, -1, false
@@ -120,21 +164,25 @@ func (c *Cache) Access(line int64, markDirty bool) (hit bool, evicted int64, evi
 		}
 	}
 	v := &c.lines[victim]
-	evicted = v.tag
+	evicted = v.tag - 1
 	evictedDirty = evicted >= 0 && v.dirty
-	v.tag = line
+	v.tag = key
 	v.dirty = markDirty
 	v.tick = c.tick
+	if markDirty {
+		c.noteDirty(set)
+	}
 	c.mru[set] = int32(victim - base)
 	return false, evicted, evictedDirty
 }
 
 // Contains reports whether line is present (no LRU update).
 func (c *Cache) Contains(line int64) bool {
+	key := line + 1
 	set := int(uint64(line) & uint64(c.sets-1))
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.lines[base+w].tag == line {
+		if c.lines[base+w].tag == key {
 			return true
 		}
 	}
@@ -143,24 +191,56 @@ func (c *Cache) Contains(line int64) bool {
 
 // FlushDirty marks every dirty line clean and returns how many lines were
 // dirty. Used when establishing a checkpoint (all dirty data is written
-// back to memory, paper §II-A).
+// back to memory, paper §II-A). Only the flagged dirty sets are scanned,
+// so the cost is proportional to the interval's write working set, not
+// the cache size.
 func (c *Cache) FlushDirty() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].dirty && c.lines[i].tag >= 0 {
-			n++
-			c.lines[i].dirty = false
+	for _, set := range c.dirtySets {
+		base := int(set) * c.ways
+		for w := 0; w < c.ways; w++ {
+			ln := &c.lines[base+w]
+			if ln.dirty && ln.tag > 0 {
+				n++
+				ln.dirty = false
+			}
 		}
 	}
+	c.clearDirtySets()
+	return n
+}
+
+// FlushDirtyEach is FlushDirty with per-line attribution: fn is invoked
+// with each flushed line's id so the caller can charge the line's home
+// shard controller. The count returned is identical to FlushDirty's; the
+// attribution order follows first-dirtied set order, which only feeds
+// commutative per-shard sums.
+func (c *Cache) FlushDirtyEach(fn func(line int64)) int {
+	n := 0
+	for _, set := range c.dirtySets {
+		base := int(set) * c.ways
+		for w := 0; w < c.ways; w++ {
+			ln := &c.lines[base+w]
+			if ln.dirty && ln.tag > 0 {
+				n++
+				ln.dirty = false
+				fn(ln.tag - 1)
+			}
+		}
+	}
+	c.clearDirtySets()
 	return n
 }
 
 // DirtyLines returns the number of dirty lines without cleaning them.
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].dirty && c.lines[i].tag >= 0 {
-			n++
+	for _, set := range c.dirtySets {
+		base := int(set) * c.ways
+		for w := 0; w < c.ways; w++ {
+			if c.lines[base+w].dirty && c.lines[base+w].tag > 0 {
+				n++
+			}
 		}
 	}
 	return n
@@ -193,7 +273,10 @@ func (c *Cache) BeginSpec() {
 func (c *Cache) CommitSpec() { c.spec = false }
 
 // AbortSpec restores every set touched since BeginSpec, and the LRU clock,
-// to their pre-round state.
+// to their pre-round state. Restored sets holding dirty lines are
+// re-flagged: a flush between the flag's original setting and this abort
+// would have cleared the flag, so membership is re-derived from the
+// restored dirty bits rather than assumed.
 //
 //acr:spec-safe
 func (c *Cache) AbortSpec() {
@@ -201,6 +284,12 @@ func (c *Cache) AbortSpec() {
 		base := int(set) * c.ways
 		copy(c.lines[base:base+c.ways], c.jWays[i*c.ways:(i+1)*c.ways])
 		c.mru[set] = c.jMRU[i]
+		for w := 0; w < c.ways; w++ {
+			if c.lines[base+w].dirty {
+				c.noteDirty(int(set))
+				break
+			}
+		}
 	}
 	c.tick = c.jTick
 	c.spec = false
@@ -219,11 +308,8 @@ func (c *Cache) journalTouch(set, base int) {
 
 // Reset invalidates the whole cache.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = way{tag: -1}
-	}
-	for i := range c.mru {
-		c.mru[i] = 0
-	}
+	clear(c.lines)
+	clear(c.mru)
 	c.tick = 0
+	c.clearDirtySets()
 }

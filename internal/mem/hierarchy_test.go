@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 
 	"acr/internal/energy"
@@ -42,49 +43,50 @@ func TestCommGroupsCoverAllCores(t *testing.T) {
 	s.Store(0, 0, 1)
 	s.Load(3, 0)
 	groups := s.CommGroups()
-	var union uint64
+	union := NewCoreSet(s.NCores())
 	for _, g := range groups {
-		if union&g != 0 {
+		if union.Intersects(g) {
 			t.Fatalf("groups overlap: %b", groups)
 		}
-		union |= g
+		union.Or(g)
 	}
-	if union != s.AllCoresMask() {
-		t.Fatalf("groups do not cover all cores: %b", union)
+	if union.Count() != s.NCores() {
+		t.Fatalf("groups do not cover all cores: %v", union)
 	}
 }
 
-func TestAllCoresMask(t *testing.T) {
-	for _, n := range []int{1, 4, 63, 64} {
-		s, _ := func() (*System, *energy.Meter) { return newTestSystem(n, 64) }()
-		mask := s.AllCoresMask()
-		want := 0
-		for mask != 0 {
-			want += int(mask & 1)
-			mask >>= 1
+func TestAllCores(t *testing.T) {
+	for _, n := range []int{1, 4, 63, 64, 65, 128, 256} {
+		s, _ := newTestSystem(n, 64)
+		all := s.AllCores()
+		if all.Count() != n {
+			t.Errorf("AllCores(%d cores) has %d members", n, all.Count())
 		}
-		if want != n {
-			t.Errorf("AllCoresMask(%d cores) has %d bits", n, want)
+		if !all.Has(0) || !all.Has(n-1) || all.Has(n) {
+			t.Errorf("AllCores(%d cores) membership wrong: %v", n, all)
 		}
 	}
 }
 
 func TestTooManyCoresRejected(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for 65 cores")
-		}
-	}()
-	NewSystem(DefaultConfig(), 65, 64, energy.NewMeter(nil))
+	// 65 cores — the old hard cap — now construct fine; only the sanity
+	// ceiling rejects, and with a typed error instead of a panic.
+	if _, err := NewSystem(DefaultConfig(), 65, 64, energy.NewMeter(nil)); err != nil {
+		t.Fatalf("65 cores must construct: %v", err)
+	}
+	_, err := NewSystem(DefaultConfig(), MaxCores+1, 64, energy.NewMeter(nil))
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected *ConfigError for %d cores, got %v", MaxCores+1, err)
+	}
 }
 
 func TestZeroWordsRejected(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for zero-word memory")
-		}
-	}()
-	NewSystem(DefaultConfig(), 1, 0, energy.NewMeter(nil))
+	_, err := NewSystem(DefaultConfig(), 1, 0, energy.NewMeter(nil))
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected *ConfigError for zero-word memory, got %v", err)
+	}
 }
 
 func TestLogBitSetOnceAcrossCores(t *testing.T) {
@@ -114,7 +116,7 @@ func TestResetCachesDropsDirtyState(t *testing.T) {
 	s, _ := newTestSystem(2, 1024)
 	s.Store(0, 0, 1)
 	s.ResetCaches()
-	if s.DirtyLines(s.AllCoresMask()) != 0 {
+	if s.DirtyLines(s.AllCores()) != 0 {
 		t.Error("ResetCaches left dirty lines")
 	}
 	if s.ReadWord(0) != 1 {

@@ -17,27 +17,48 @@ func TestLocalNewIntervalMatchesNaiveClear(t *testing.T) {
 		for i := 0; i < 400; i++ {
 			s.Store(rng.Intn(4), int64(rng.Intn(words)), int64(i))
 		}
-		groupMask := uint64(1 + rng.Intn(15))
-
-		// Reference: clear one bit at a time for every word of every line
-		// last written by a group member.
-		want := make([]uint64, len(s.logBits))
-		copy(want, s.logBits)
-		lw := int64(s.cfg.LineWords)
-		for line, writer := range s.lastWriter {
-			if writer == 0 || groupMask&(1<<uint(writer-1)) == 0 {
-				continue
-			}
-			for a := int64(line) * lw; a < (int64(line)+1)*lw && a < int64(words); a++ {
-				want[a>>6] &^= 1 << uint(a&63)
+		groupMask := 1 + rng.Intn(15)
+		group := NewCoreSet(4)
+		for c := 0; c < 4; c++ {
+			if groupMask&(1<<uint(c)) != 0 {
+				group.Add(c)
 			}
 		}
 
-		s.NewInterval(groupMask, false)
-		for i := range want {
-			if s.logBits[i] != want[i] {
-				t.Fatalf("trial %d (words=%d, mask=%b): logBits[%d] = %064b, want %064b",
-					trial, words, groupMask, i, s.logBits[i], want[i])
+		// Shard-aware views of the directory state.
+		logBit := func(a int64) bool {
+			sh := s.shardOf(a)
+			off := a - sh.base
+			return sh.logBits[off>>6]&(1<<uint(off&63)) != 0
+		}
+		lastWriterOf := func(line int64) int32 {
+			sh := s.shardOfLine(line)
+			return sh.lastWriter[line-sh.lineBase]
+		}
+
+		// Reference: clear one bit at a time for every word of every line
+		// last written by a group member.
+		want := make([]bool, words)
+		for a := 0; a < words; a++ {
+			want[a] = logBit(int64(a))
+		}
+		lw := int64(s.cfg.LineWords)
+		nLines := (int64(words) + lw - 1) / lw
+		for line := int64(0); line < nLines; line++ {
+			writer := lastWriterOf(line)
+			if writer == 0 || !group.Has(int(writer-1)) {
+				continue
+			}
+			for a := line * lw; a < (line+1)*lw && a < int64(words); a++ {
+				want[a] = false
+			}
+		}
+
+		s.NewInterval(group, false)
+		for a := 0; a < words; a++ {
+			if logBit(int64(a)) != want[a] {
+				t.Fatalf("trial %d (words=%d, group=%v): log bit of word %d = %v, want %v",
+					trial, words, group, a, logBit(int64(a)), want[a])
 			}
 		}
 	}

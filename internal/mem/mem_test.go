@@ -9,7 +9,7 @@ import (
 
 func newTestSystem(nCores, words int) (*System, *energy.Meter) {
 	m := energy.NewMeter(nil)
-	return NewSystem(DefaultConfig(), nCores, words, m), m
+	return MustNewSystem(DefaultConfig(), nCores, words, m), m
 }
 
 func TestCacheHitAfterMiss(t *testing.T) {
@@ -102,7 +102,7 @@ func TestLogBitPerInterval(t *testing.T) {
 	if first {
 		t.Fatal("second store same interval must report first=false")
 	}
-	s.NewInterval(s.AllCoresMask(), true)
+	s.NewInterval(s.AllCores(), true)
 	_, first, _ = s.Store(0, 5, 3)
 	if !first {
 		t.Fatal("store after new interval must report first=true again")
@@ -114,8 +114,8 @@ func TestCommunicationObservation(t *testing.T) {
 	// Core 0 writes line 0, core 1 reads it: edge (0,1).
 	s.Store(0, 0, 11)
 	s.Load(1, 1) // same line (line words = 8)
-	if s.CommMask(1)&1 == 0 || s.CommMask(0)&2 == 0 {
-		t.Errorf("expected comm edge 0<->1: mask0=%b mask1=%b", s.CommMask(0), s.CommMask(1))
+	if !s.CommSet(1).Has(0) || !s.CommSet(0).Has(1) {
+		t.Errorf("expected comm edge 0<->1: set0=%v set1=%v", s.CommSet(0), s.CommSet(1))
 	}
 	// Core 2 and 3 don't communicate.
 	s.Store(2, 2000, 5)
@@ -124,7 +124,7 @@ func TestCommunicationObservation(t *testing.T) {
 	if len(groups) != 3 {
 		t.Fatalf("groups = %v, want 3 groups {0,1},{2},{3}", groups)
 	}
-	if groups[0] != 0b0011 || groups[1] != 0b0100 || groups[2] != 0b1000 {
+	if groups[0][0] != 0b0011 || groups[1][0] != 0b0100 || groups[2][0] != 0b1000 {
 		t.Errorf("groups = %b", groups)
 	}
 }
@@ -132,12 +132,12 @@ func TestCommunicationObservation(t *testing.T) {
 func TestCommunicationIntervalScoped(t *testing.T) {
 	s, _ := newTestSystem(2, 1024)
 	s.Store(0, 0, 1)
-	s.NewInterval(s.AllCoresMask(), true)
+	s.NewInterval(s.AllCores(), true)
 	// Write happened last interval: reading it now is NOT communication
 	// for this interval's coordination purposes.
 	s.Load(1, 0)
-	if s.CommMask(1) != 0 {
-		t.Errorf("stale write counted as communication: %b", s.CommMask(1))
+	if !s.CommSet(1).Empty() {
+		t.Errorf("stale write counted as communication: %v", s.CommSet(1))
 	}
 }
 
@@ -149,8 +149,8 @@ func TestCommGroupsTransitive(t *testing.T) {
 	s.Store(1, 512, 2)
 	s.Load(2, 512)
 	groups := s.CommGroups()
-	if groups[0] != 0b111 {
-		t.Errorf("transitive group = %b, want 0b111", groups[0])
+	if groups[0][0] != 0b111 {
+		t.Errorf("transitive group = %b, want 0b111", groups[0][0])
 	}
 	if len(groups) != 1+5 {
 		t.Errorf("got %d groups, want 6", len(groups))
@@ -162,7 +162,9 @@ func TestLocalNewIntervalClearsOnlyGroupBits(t *testing.T) {
 	s.Store(0, 8, 1)   // line 1, written by core 0
 	s.Store(1, 512, 2) // line 64, written by core 1
 	// Local checkpoint of group {core 0} only.
-	s.NewInterval(1<<0, false)
+	g := NewCoreSet(2)
+	g.Add(0)
+	s.NewInterval(g, false)
 	_, first, _ := s.Store(0, 8, 3)
 	if !first {
 		t.Error("core-0 word should have been cleared by local interval")
@@ -179,7 +181,7 @@ func TestFlushDirtyCountsAndCharges(t *testing.T) {
 	s.Store(0, 100, 2)
 	s.Store(1, 200, 3)
 	before := m.Count(energy.DRAMWrite)
-	n := s.FlushDirty(s.AllCoresMask())
+	n := s.FlushDirty(s.AllCores())
 	if n != 3 {
 		t.Errorf("FlushDirty = %d lines, want 3", n)
 	}
@@ -187,7 +189,7 @@ func TestFlushDirtyCountsAndCharges(t *testing.T) {
 	if wrote != uint64(3*s.Config().LineWords) {
 		t.Errorf("flush charged %d word writes, want %d", wrote, 3*s.Config().LineWords)
 	}
-	if s.DirtyLines(s.AllCoresMask()) != 0 {
+	if s.DirtyLines(s.AllCores()) != 0 {
 		t.Error("dirty lines remain after flush")
 	}
 }

@@ -1,20 +1,19 @@
 package mem
 
 import (
-	"math/bits"
-
 	"acr/internal/energy"
 )
 
 // SpecView is one core's isolated window onto the System during a
 // speculative parallel round. While a round is open, all System state
-// shared between cores — dram, log bits, last-writer directory, comm
-// masks, global stats, the meter — is frozen: the view reads it but never
-// writes it. The core's own writes land in a private overlay, its cache
-// stack mutates for real behind the per-set rollback journal (caches are
-// core-private), and everything else the quantum produces (write log,
-// first-store words, comm observations, energy counts, touched-line sets)
-// is buffered for the commit step.
+// shared between cores — the shards' dram words, log bits and last-writer
+// directory entries, comm rows, global stats, the meter — is frozen: the
+// view reads it but never writes it. The core's own writes land in a
+// private overlay, its cache stack mutates for real behind the per-set
+// rollback journal (caches are core-private), and everything else the
+// quantum produces (write log, first-store words, comm observations,
+// energy counts, shard-controller traffic, touched-line sets) is buffered
+// for the commit step.
 //
 // Bit-identity argument: absent line conflicts with the other quanta of
 // the round, a quantum's speculative execution observes exactly the state
@@ -42,8 +41,8 @@ type SpecView struct {
 	ovVals []int64
 	ovLen  int
 
-	// wlog is the quantum's stores in execution order; applied to dram
-	// (and the last-writer directory) at commit.
+	// wlog is the quantum's stores in execution order; applied to the
+	// shards' dram (and last-writer directories) at commit.
 	wlog []wlogEntry
 
 	// Touched-line sets for conflict detection, each as an open-addressed
@@ -69,13 +68,22 @@ type SpecView struct {
 	// must abort and replay serially.
 	Poisoned bool
 
-	// Comm observations against the frozen directory: commSelf is the mask
-	// to OR into comm[core]; commOut[w] (for w in commTouched) is the mask
-	// to OR into comm[w]; commEdges counts observations for Stats.
-	commSelf    uint64
-	commOut     [64]uint64
-	commTouched uint64
+	// Comm observations against the frozen directory, multi-word per the
+	// machine's core count: commSelf is the row to OR into the view core's
+	// comm row; commOut (a writer-indexed matrix of commW-word rows, rows
+	// live for writers in commTouched) is OR'd into each observed writer's
+	// row; commEdges counts observations for Stats.
+	commSelf    CoreSet
+	commOut     []uint64
+	commTouched CoreSet
+	commList    []int32
 	commEdges   int64
+
+	// ctrlFill/ctrlWb buffer the per-shard controller traffic of the
+	// quantum's fills and writebacks; merged into the shard ledgers at
+	// commit (direct increments would race across worker goroutines).
+	ctrlFill []int64
+	ctrlWb   []int64
 
 	// statsSnap restores stats.PerCore[core] on abort (the view mutates
 	// that element in place: distinct cores touch distinct elements).
@@ -180,11 +188,16 @@ func (s *lineSet) grow() {
 // allocated once and reused across rounds.
 func NewSpecView(sys *System, core int) *SpecView {
 	return &SpecView{
-		sys:    sys,
-		core:   core,
-		ovKeys: make([]int64, 256),
-		ovVals: make([]int64, 256),
-		oaKeys: make([]int64, 64),
+		sys:         sys,
+		core:        core,
+		ovKeys:      make([]int64, 256),
+		ovVals:      make([]int64, 256),
+		oaKeys:      make([]int64, 64),
+		commSelf:    NewCoreSet(sys.nCores),
+		commOut:     make([]uint64, sys.nCores*sys.commW),
+		commTouched: NewCoreSet(sys.nCores),
+		ctrlFill:    make([]int64, len(sys.shards)),
+		ctrlWb:      make([]int64, len(sys.shards)),
 	}
 }
 
@@ -208,13 +221,16 @@ func (v *SpecView) Begin() {
 	v.writes.reset()
 	v.firstWords = v.firstWords[:0]
 	v.Poisoned = false
-	v.commSelf = 0
-	for v.commTouched != 0 {
-		w := bits.TrailingZeros64(v.commTouched)
-		v.commOut[w] = 0
-		v.commTouched &^= 1 << uint(w)
+	v.commSelf.Reset()
+	cw := v.sys.commW
+	for _, w := range v.commList {
+		clear(v.commOut[int(w)*cw : (int(w)+1)*cw])
 	}
+	v.commList = v.commList[:0]
+	v.commTouched.Reset()
 	v.commEdges = 0
+	clear(v.ctrlFill)
+	clear(v.ctrlWb)
 	v.Acc.Reset()
 	v.statsSnap = v.sys.stats.PerCore[v.core]
 	cc := &v.sys.caches[v.core]
@@ -272,7 +288,8 @@ func (v *SpecView) ovPut(addr, val int64) {
 }
 
 // access mirrors System.access against the core's (real, journaled) cache
-// stack, charging the view's accumulator instead of the meter.
+// stack, charging the view's accumulator instead of the meter and the
+// per-shard traffic buffers instead of the live controller ledgers.
 //
 //acr:spec-safe
 func (v *SpecView) access(line int64, store bool) int64 {
@@ -293,6 +310,7 @@ func (v *SpecView) access(line int64, store bool) int64 {
 		if v2Dirty && v2 != victim {
 			st.L2.Writebacks++
 			v.Acc.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
+			v.ctrlWb[(v2*int64(s.cfg.LineWords))>>s.shardShift] += int64(s.cfg.LineWords)
 		}
 	}
 	v.Acc.Add(energy.L2Access, 1)
@@ -305,14 +323,16 @@ func (v *SpecView) access(line int64, store bool) int64 {
 	if victimDirty {
 		st.L2.Writebacks++
 		v.Acc.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
+		v.ctrlWb[(victim*int64(s.cfg.LineWords))>>s.shardShift] += int64(s.cfg.LineWords)
 	}
 	st.Fills++
 	v.Acc.Add(energy.DRAMRead, uint64(s.cfg.LineWords))
+	v.ctrlFill[(line*int64(s.cfg.LineWords))>>s.shardShift] += int64(s.cfg.LineWords)
 	return s.cfg.DRAMCycles
 }
 
 // observeComm mirrors System.observeComm against the frozen directory,
-// buffering the mask updates. A line this quantum already stored to is its
+// buffering the row updates. A line this quantum already stored to is its
 // own (serial execution would have made this core the last writer), so no
 // edge is observed; a line another round member stores to is a conflict,
 // so within committing rounds the frozen directory gives exactly the
@@ -324,11 +344,17 @@ func (v *SpecView) observeComm(line int64) {
 		return
 	}
 	s := v.sys
-	lw := s.lastWriter[line]
-	if lw != 0 && int(lw-1) != v.core && s.lastWriteIvl[line] == s.curInterval {
-		v.commSelf |= 1 << uint(lw-1)
-		v.commOut[lw-1] |= 1 << uint(v.core)
-		v.commTouched |= 1 << uint(lw-1)
+	sh := s.shardOfLine(line)
+	lline := line - sh.lineBase
+	lw := sh.lastWriter[lline]
+	if lw != 0 && int(lw-1) != v.core && sh.lastWriteIvl[lline] == s.curInterval {
+		w := int(lw - 1)
+		v.commSelf.Add(w)
+		v.commOut[w*s.commW+(v.core>>6)] |= 1 << uint(v.core&63)
+		if !v.commTouched.Has(w) {
+			v.commTouched.Add(w)
+			v.commList = append(v.commList, int32(w))
+		}
 		v.commEdges++
 	}
 }
@@ -345,7 +371,8 @@ func (v *SpecView) Load(addr int64) (val, cycles int64) {
 	if ov, ok := v.ovGet(addr); ok {
 		return ov, cycles
 	}
-	return v.sys.dram[addr], cycles
+	sh := v.sys.shardOf(addr)
+	return sh.dram[addr-sh.base], cycles
 }
 
 // Store mirrors System.Store speculatively. first is computed against the
@@ -361,15 +388,16 @@ func (v *SpecView) Store(addr, val int64) (old int64, first bool, cycles int64) 
 	cycles = v.access(line, true)
 	v.observeComm(line)
 	old, stored := v.ovGet(addr)
+	sh := s.shardOf(addr)
+	off := addr - sh.base
 	if !stored {
-		old = s.dram[addr]
+		old = sh.dram[off]
 	}
 	v.ovPut(addr, val)
 	v.wlog = append(v.wlog, wlogEntry{addr, val})
 	v.writes.add(line)
 	if !stored {
-		w, b := addr/64, uint(addr%64)
-		if s.logBits[w]&(1<<b) == 0 {
+		if sh.logBits[off>>6]&(1<<uint(off&63)) == 0 {
 			first = true
 			v.firstWords = append(v.firstWords, addr)
 		}
@@ -465,10 +493,10 @@ func (v *SpecView) Abort() {
 // Commit applies the round's buffered effects to the System: dram words
 // and directory entries from the write log (line-disjoint from every other
 // committing quantum, so per-view order is immaterial), interval log bits
-// for the first-stored words, comm masks and global counters, and the
-// energy accumulator. Hook effects (checkpoint logging, associations) are
-// NOT applied here — the engine replays those through the real hooks in
-// serial merge order.
+// for the first-stored words, comm rows, shard-controller traffic and
+// global counters, and the energy accumulator. Hook effects (checkpoint
+// logging, associations) are NOT applied here — the engine replays those
+// through the real hooks in serial merge order.
 //
 //acr:spec-safe
 func (v *SpecView) Commit() {
@@ -478,21 +506,34 @@ func (v *SpecView) Commit() {
 	cc.l2.CommitSpec()
 	lw := int64(s.cfg.LineWords)
 	for _, e := range v.wlog {
-		s.dram[e.addr] = e.val
-		line := e.addr / lw
-		s.lastWriter[line] = int32(v.core) + 1
-		s.lastWriteIvl[line] = s.curInterval
+		sh := s.shardOf(e.addr)
+		sh.dram[e.addr-sh.base] = e.val
+		lline := e.addr/lw - sh.lineBase
+		sh.lastWriter[lline] = int32(v.core) + 1
+		sh.lastWriteIvl[lline] = s.curInterval
 	}
 	for _, addr := range v.firstWords {
-		s.logBits[addr/64] |= 1 << uint(addr%64)
+		sh := s.shardOf(addr)
+		off := addr - sh.base
+		sh.logBits[off>>6] |= 1 << uint(off&63)
+		sh.ctrl.LogBitSets++
 	}
 	s.stats.LogBitSets += int64(len(v.firstWords))
 	s.stats.CommEdges += v.commEdges
-	s.comm[v.core] |= v.commSelf
-	for m := v.commTouched; m != 0; {
-		w := bits.TrailingZeros64(m)
-		s.comm[w] |= v.commOut[w]
-		m &^= 1 << uint(w)
+	cw := s.commW
+	CoreSet(s.comm[v.core*cw : (v.core+1)*cw]).Or(v.commSelf)
+	for _, w := range v.commList {
+		CoreSet(s.comm[int(w)*cw : (int(w)+1)*cw]).Or(CoreSet(v.commOut[int(w)*cw : (int(w)+1)*cw]))
+	}
+	for i, n := range v.ctrlFill {
+		if n != 0 {
+			s.shards[i].ctrl.FillWords += n
+		}
+	}
+	for i, n := range v.ctrlWb {
+		if n != 0 {
+			s.shards[i].ctrl.WritebackWords += n
+		}
 	}
 	s.meter.Merge(&v.Acc)
 }

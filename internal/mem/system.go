@@ -43,6 +43,20 @@ func DefaultConfig() Config {
 	}
 }
 
+// MaxCores is the sanity ceiling on the simulated core count. It bounds
+// nothing architectural — the sharded directory and multi-word comm bitsets
+// scale past it — but catches configs that would allocate absurd state.
+const MaxCores = 4096
+
+// ConfigError reports an invalid memory-system or machine-scale
+// configuration. sim.New surfaces it unwrapped so callers can distinguish
+// configuration mistakes from runtime failures.
+type ConfigError struct {
+	Reason string
+}
+
+func (e *ConfigError) Error() string { return "mem: invalid config: " + e.Reason }
+
 // coreCaches is the private cache stack of one core.
 type coreCaches struct {
 	l1d *Cache
@@ -82,59 +96,179 @@ type Stats struct {
 	FlushedLines int64
 }
 
-// System is the whole-machine memory subsystem.
+// CtrlStats is one shard memory controller's bandwidth ledger, in 64-bit
+// words moved through that controller. Pure observation: the counters ride
+// paths that already charge energy and never feed timing, so results are
+// bit-identical whether or not anything reads them.
+type CtrlStats struct {
+	// FillWords: line fills read from this shard's DRAM slice.
+	FillWords int64
+	// WritebackWords: dirty cache victims written back to this shard.
+	WritebackWords int64
+	// FlushWords: checkpoint-establishment flush traffic landing here.
+	FlushWords int64
+	// LogBitSets: first-store log-bit transitions in this shard's slice of
+	// the directory.
+	LogBitSets int64
+}
+
+// ShardInfo describes one shard's extent and controller activity.
+type ShardInfo struct {
+	Index int
+	// Base is the first word address the shard owns; Words its extent.
+	Base  int64
+	Words int
+	Ctrl  CtrlStats
+}
+
+// shard owns one contiguous, line-aligned slice of the memory plane: its
+// dram words, per-word log bits, per-line last-writer/interval directory
+// entries, and the bandwidth ledger of the memory controller fronting it.
+// Shards are line-disjoint by construction (a cache line never straddles a
+// shard boundary), so shard-local state can be walked concurrently — the
+// differential strategy's seal scan exploits that.
+type shard struct {
+	// base is the first word address owned; lineBase the first global
+	// line index.
+	base     int64
+	lineBase int64
+	dram     []int64
+	// logBits: one bit per word of the shard's slice; set when the word's
+	// old value has been captured (or amnesically omitted) for the current
+	// checkpoint interval (paper §II-A). Tail bits past the slice length
+	// are never set.
+	logBits []uint64
+	// lastWriter[l] = core id + 1 of the last core to store to the shard's
+	// l-th line; 0 if never written. lastWriteIvl[l] is the checkpoint
+	// interval of that store. Both drive communication observation.
+	lastWriter   []int32
+	lastWriteIvl []int32
+	ctrl         CtrlStats
+}
+
+// System is the whole-machine memory subsystem: a line-sharded directory in
+// front of flat word-addressed DRAM. Address space is split into
+// power-of-two, line-aligned contiguous shards (one per memory controller,
+// Table I's cores-per-controller ratio), each owning its words' data, log
+// bits and last-writer entries. Contiguous (rather than interleaved)
+// shard extents keep every address-ordered scan — AppendDirtyWords most
+// critically — bit-identical to the pre-sharding flat arrays.
 type System struct {
 	cfg    Config
 	nCores int
 	meter  *energy.Meter
 
-	dram []int64
-	// logBits: one bit per word; set when the word's old value has been
-	// captured (or amnesically omitted) for the current checkpoint
-	// interval (paper §II-A: the directory's log bit; held per word here
-	// because logging is word-granular in this reproduction).
-	logBits []uint64
+	words  int
+	shards []shard
+	// shardShift: shard index of addr is addr>>shardShift (shards span
+	// 1<<shardShift words).
+	shardShift  uint
+	curInterval int32
 
-	// lastWriter[line] = core id + 1 of the last core to store to the
-	// line; 0 if never written. lastWriteIvl[line] is the checkpoint
-	// interval of that store. Both drive communication observation.
-	lastWriter   []int32
-	lastWriteIvl []int32
-	curInterval  int32
-
-	// comm[c] is a bitmask of cores with which core c communicated during
-	// the current interval (read a line another core wrote this
-	// interval, or overwrote such a line).
-	comm []uint64
+	// comm is the per-core communication bitset for the current interval:
+	// row c (commW words at comm[c*commW:]) holds the cores with which c
+	// communicated (read a line another core wrote this interval, or
+	// overwrote such a line).
+	commW int
+	comm  []uint64
 
 	caches []coreCaches
 	stats  Stats
+
+	// allCores is the full core set, built once; AllCores returns it and
+	// callers treat it as read-only.
+	allCores CoreSet
+}
+
+// shardLayout picks the shard width: the smallest power of two ≥ 64 words
+// that yields at most one shard per memory controller (rounded up to a
+// power of two). When LineWords is not itself a power of two a single
+// shard covers everything — the line-disjointness invariant must hold and
+// ragged line alignment cannot be guaranteed across interior boundaries.
+func shardLayout(words, lineWords, controllers int) uint {
+	if lineWords&(lineWords-1) != 0 {
+		shift := uint(6)
+		for 1<<shift < words {
+			shift++
+		}
+		return shift
+	}
+	target := 1
+	for target < controllers {
+		target <<= 1
+	}
+	per := (words + target - 1) / target
+	shift := uint(6)
+	for 1<<shift < per || 1<<shift < lineWords {
+		shift++
+	}
+	return shift
 }
 
 // NewSystem builds a memory system with the given number of data words.
-func NewSystem(cfg Config, nCores, words int, meter *energy.Meter) *System {
-	if nCores > 64 {
-		panic("mem: at most 64 cores supported (communication bitmask)")
+// Invalid scale parameters return a *ConfigError; earlier revisions
+// panicked here (notably on nCores > 64, a hard cap the sharded directory
+// and multi-word comm bitsets remove).
+func NewSystem(cfg Config, nCores, words int, meter *energy.Meter) (*System, error) {
+	if nCores <= 0 {
+		return nil, &ConfigError{Reason: fmt.Sprintf("core count %d must be positive", nCores)}
+	}
+	if nCores > MaxCores {
+		return nil, &ConfigError{Reason: fmt.Sprintf("%d cores exceed the %d-core sanity ceiling", nCores, MaxCores)}
 	}
 	if words <= 0 {
-		panic("mem: non-positive memory size")
+		return nil, &ConfigError{Reason: "non-positive memory size"}
 	}
-	lines := (words + cfg.LineWords - 1) / cfg.LineWords
+	if cfg.LineWords <= 0 {
+		return nil, &ConfigError{Reason: fmt.Sprintf("line size %d words must be positive", cfg.LineWords)}
+	}
 	s := &System{
-		cfg:          cfg,
-		nCores:       nCores,
-		meter:        meter,
-		dram:         make([]int64, words),
-		logBits:      make([]uint64, (words+63)/64),
-		lastWriter:   make([]int32, lines),
-		lastWriteIvl: make([]int32, lines),
-		comm:         make([]uint64, nCores),
-		caches:       make([]coreCaches, nCores),
+		cfg:    cfg,
+		nCores: nCores,
+		meter:  meter,
+		words:  words,
+		commW:  (nCores + 63) / 64,
+		caches: make([]coreCaches, nCores),
 	}
+	s.shardShift = shardLayout(words, cfg.LineWords, s.Controllers())
+	per := 1 << s.shardShift
+	nShards := (words + per - 1) / per
+	s.shards = make([]shard, nShards)
+	for i := range s.shards {
+		base := i * per
+		n := words - base
+		if n > per {
+			n = per
+		}
+		lines := (n + cfg.LineWords - 1) / cfg.LineWords
+		s.shards[i] = shard{
+			base:         int64(base),
+			lineBase:     int64(base / cfg.LineWords),
+			dram:         make([]int64, n),
+			logBits:      make([]uint64, (n+63)/64),
+			lastWriter:   make([]int32, lines),
+			lastWriteIvl: make([]int32, lines),
+		}
+	}
+	s.comm = make([]uint64, nCores*s.commW)
 	for i := range s.caches {
 		s.caches[i] = coreCaches{l1d: NewCache(cfg.L1D), l2: NewCache(cfg.L2)}
 	}
 	s.stats.PerCore = make([]CoreStats, nCores)
+	s.allCores = NewCoreSet(nCores)
+	for c := 0; c < nCores; c++ {
+		s.allCores.Add(c)
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem for callers with statically valid configs
+// (tests, workload builders); it panics on error.
+func MustNewSystem(cfg Config, nCores, words int, meter *energy.Meter) *System {
+	s, err := NewSystem(cfg, nCores, words, meter)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -145,16 +279,40 @@ func (s *System) Stats() Stats {
 	return out
 }
 
+// Shards returns the number of directory shards.
+func (s *System) Shards() int { return len(s.shards) }
+
+// ShardInfo returns shard i's extent and controller ledger.
+func (s *System) ShardInfo(i int) ShardInfo {
+	sh := &s.shards[i]
+	return ShardInfo{Index: i, Base: sh.base, Words: len(sh.dram), Ctrl: sh.ctrl}
+}
+
 // Words returns the size of data memory in words.
-func (s *System) Words() int { return len(s.dram) }
+func (s *System) Words() int { return s.words }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// shardOf returns the shard owning addr.
+//
+//acr:spec-safe
+func (s *System) shardOf(addr int64) *shard {
+	return &s.shards[addr>>s.shardShift]
+}
+
+// shardOfLine returns the shard owning the given global line.
+//
+//acr:spec-safe
+func (s *System) shardOfLine(line int64) *shard {
+	return &s.shards[(line*int64(s.cfg.LineWords))>>s.shardShift]
+}
+
 // ReadWord reads memory functionally, without timing or energy effects.
 // Used by program init, checkpoint verification and tests.
 func (s *System) ReadWord(addr int64) int64 {
-	return s.dram[addr]
+	sh := s.shardOf(addr)
+	return sh.dram[addr-sh.base]
 }
 
 // WriteWord writes memory functionally, bypassing caches, timing, energy,
@@ -162,20 +320,23 @@ func (s *System) ReadWord(addr int64) int64 {
 // recovery handler when restoring state (the restore's cost is charged
 // explicitly by the recovery handler).
 func (s *System) WriteWord(addr, val int64) {
-	s.dram[addr] = val
+	sh := s.shardOf(addr)
+	sh.dram[addr-sh.base] = val
 }
 
 //acr:spec-safe
 func (s *System) checkAddr(addr int64) {
-	if addr < 0 || addr >= int64(len(s.dram)) {
-		panic(fmt.Sprintf("mem: address %d out of range [0,%d)", addr, len(s.dram)))
+	if addr < 0 || addr >= int64(s.words) {
+		panic(fmt.Sprintf("mem: address %d out of range [0,%d)", addr, s.words))
 	}
 }
 
 // access runs addr through core's cache stack and returns the latency,
 // charging energy as it goes. Dirty victims migrate down the hierarchy:
 // an L1 eviction installs the dirty line into L2; an L2 eviction writes it
-// back to memory.
+// back to memory, charged to the victim line's home shard controller.
+//
+//acr:noalloc
 func (s *System) access(core int, line int64, store bool) int64 {
 	cc := &s.caches[core]
 	st := &s.stats.PerCore[core]
@@ -194,6 +355,7 @@ func (s *System) access(core int, line int64, store bool) int64 {
 		if v2Dirty && v2 != victim {
 			st.L2.Writebacks++
 			s.meter.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
+			s.shardOfLine(v2).ctrl.WritebackWords += int64(s.cfg.LineWords)
 		}
 	}
 	s.meter.Add(energy.L2Access, 1)
@@ -207,22 +369,27 @@ func (s *System) access(core int, line int64, store bool) int64 {
 		// Write-back from L2 to memory: one line of words.
 		st.L2.Writebacks++
 		s.meter.Add(energy.DRAMWrite, uint64(s.cfg.LineWords))
+		s.shardOfLine(victim).ctrl.WritebackWords += int64(s.cfg.LineWords)
 	}
 	// Line fill from DRAM.
 	st.Fills++
 	s.meter.Add(energy.DRAMRead, uint64(s.cfg.LineWords))
+	s.shardOfLine(line).ctrl.FillWords += int64(s.cfg.LineWords)
 	return s.cfg.DRAMCycles
 }
 
 // Load performs a data load by core, returning the value and access latency
 // in cycles. Communication with the line's last writer (within the current
 // interval) is recorded for local checkpointing.
+//
+//acr:noalloc
 func (s *System) Load(core int, addr int64) (val, cycles int64) {
 	s.checkAddr(addr)
 	line := addr / int64(s.cfg.LineWords)
 	cycles = s.access(core, line, false)
-	s.observeComm(core, line)
-	return s.dram[addr], cycles
+	sh := s.shardOf(addr)
+	s.observeComm(core, sh, line-sh.lineBase)
+	return sh.dram[addr-sh.base], cycles
 }
 
 // Store performs a data store by core. It returns the old value of the
@@ -230,125 +397,147 @@ func (s *System) Load(core int, addr int64) (val, cycles int64) {
 // checkpoint interval (log bit was clear; the caller — the checkpoint
 // manager — logs or omits the old value and the bit is set here), and the
 // access latency.
+//
+//acr:noalloc
 func (s *System) Store(core int, addr, val int64) (old int64, first bool, cycles int64) {
 	s.checkAddr(addr)
 	line := addr / int64(s.cfg.LineWords)
 	cycles = s.access(core, line, true)
-	s.observeComm(core, line)
-	old = s.dram[addr]
-	s.dram[addr] = val
+	sh := s.shardOf(addr)
+	lline := line - sh.lineBase
+	s.observeComm(core, sh, lline)
+	off := addr - sh.base
+	old = sh.dram[off]
+	sh.dram[off] = val
 
-	w, b := addr/64, uint(addr%64)
-	if s.logBits[w]&(1<<b) == 0 {
-		s.logBits[w] |= 1 << b
+	w, b := off>>6, uint(off&63)
+	if sh.logBits[w]&(1<<b) == 0 {
+		sh.logBits[w] |= 1 << b
 		first = true
 		s.stats.LogBitSets++
+		sh.ctrl.LogBitSets++
 	}
-	s.lastWriter[line] = int32(core) + 1
-	s.lastWriteIvl[line] = s.curInterval
+	sh.lastWriter[lline] = int32(core) + 1
+	sh.lastWriteIvl[lline] = s.curInterval
 	return old, first, cycles
 }
 
-func (s *System) observeComm(core int, line int64) {
-	lw := s.lastWriter[line]
-	if lw != 0 && int(lw-1) != core && s.lastWriteIvl[line] == s.curInterval {
-		s.comm[core] |= 1 << uint(lw-1)
-		s.comm[lw-1] |= 1 << uint(core)
+// observeComm records a communication edge between core and the last
+// writer of the shard-local line, if that write happened this interval.
+//
+//acr:noalloc
+func (s *System) observeComm(core int, sh *shard, lline int64) {
+	lw := sh.lastWriter[lline]
+	if lw != 0 && int(lw-1) != core && sh.lastWriteIvl[lline] == s.curInterval {
+		w := int(lw - 1)
+		s.comm[core*s.commW+(w>>6)] |= 1 << uint(w&63)
+		s.comm[w*s.commW+(core>>6)] |= 1 << uint(core&63)
 		s.stats.CommEdges++
 	}
 }
 
-// CommMask returns core's communication bitmask for the current interval.
-func (s *System) CommMask(core int) uint64 { return s.comm[core] }
+// CommSet returns core's communication set for the current interval as a
+// read-only view (aliasing the live directory row; callers must Clone
+// before mutating).
+func (s *System) CommSet(core int) CoreSet {
+	return CoreSet(s.comm[core*s.commW : (core+1)*s.commW])
+}
 
 // CommGroups partitions cores into connected components of the current
-// interval's communication graph. Each group is returned as a bitmask; the
-// groups are disjoint and cover all cores, ordered by lowest member.
-func (s *System) CommGroups() []uint64 {
-	assigned := uint64(0)
-	var groups []uint64
+// interval's communication graph. The groups are disjoint, cover all
+// cores, and are ordered by lowest member; each is freshly allocated.
+func (s *System) CommGroups() []CoreSet {
+	assigned := NewCoreSet(s.nCores)
+	next := NewCoreSet(s.nCores)
+	var groups []CoreSet
 	for c := 0; c < s.nCores; c++ {
-		if assigned&(1<<uint(c)) != 0 {
+		if assigned.Has(c) {
 			continue
 		}
-		// BFS over the adjacency masks.
-		group := uint64(1 << uint(c))
-		frontier := group
-		for frontier != 0 {
-			next := uint64(0)
-			for w := 0; w < s.nCores; w++ {
-				if frontier&(1<<uint(w)) != 0 {
-					next |= s.comm[w]
-				}
+		// BFS over the adjacency rows.
+		group := NewCoreSet(s.nCores)
+		group.Add(c)
+		frontier := group.Clone()
+		for !frontier.Empty() {
+			next.Reset()
+			frontier.ForEach(func(w int) {
+				next.Or(s.CommSet(w))
+			})
+			for i := range frontier {
+				frontier[i] = next[i] &^ group[i]
+				group[i] |= next[i]
 			}
-			frontier = next &^ group
-			group |= next
 		}
-		assigned |= group
+		assigned.Or(group)
 		groups = append(groups, group)
 	}
 	return groups
 }
 
-// NewInterval begins a new checkpoint interval for the given cores
-// (bitmask): their log bits and communication edges are cleared. Under
-// global checkpointing the mask covers all cores and all log bits clear;
-// under local checkpointing only words last written by group members are
-// cleared (the group checkpoints its own data).
-func (s *System) NewInterval(groupMask uint64, allCores bool) {
+// NewInterval begins a new checkpoint interval for the given cores: their
+// log bits and communication rows are cleared. Under global checkpointing
+// the group covers all cores and all log bits clear; under local
+// checkpointing only words last written by group members are cleared (the
+// group checkpoints its own data).
+func (s *System) NewInterval(group CoreSet, allCores bool) {
 	if allCores {
-		for i := range s.logBits {
-			s.logBits[i] = 0
+		for i := range s.shards {
+			clear(s.shards[i].logBits)
 		}
-		for c := range s.comm {
-			s.comm[c] = 0
-		}
+		clear(s.comm)
 		s.curInterval++
 		return
 	}
 	// Local: clear log bits of words on lines last written by the group.
-	// A line is LineWords contiguous bits of logBits, so the clear is a
-	// handful of masked whole-uint64 writes per line, not a per-word loop.
+	// A line is LineWords contiguous bits of a shard's logBits (lines
+	// never straddle shards), so the clear is a handful of masked
+	// whole-uint64 writes per line, not a per-word loop.
 	lw := s.cfg.LineWords
-	for line, writer := range s.lastWriter {
-		if writer == 0 || groupMask&(1<<uint(writer-1)) == 0 {
-			continue
-		}
-		base := int64(line) * int64(lw)
-		end := base + int64(lw)
-		if end > int64(len(s.dram)) {
-			end = int64(len(s.dram))
-		}
-		for a := base; a < end; {
-			lo := uint(a & 63)
-			n := int64(64 - lo)
-			if a+n > end {
-				n = end - a
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for line, writer := range sh.lastWriter {
+			if writer == 0 || !group.Has(int(writer-1)) {
+				continue
 			}
-			s.logBits[a>>6] &^= (^uint64(0) >> (64 - uint(n))) << lo
-			a += n
+			base := int64(line) * int64(lw)
+			end := base + int64(lw)
+			if end > int64(len(sh.dram)) {
+				end = int64(len(sh.dram))
+			}
+			for a := base; a < end; {
+				lo := uint(a & 63)
+				n := int64(64 - lo)
+				if a+n > end {
+					n = end - a
+				}
+				sh.logBits[a>>6] &^= (^uint64(0) >> (64 - uint(n))) << lo
+				a += n
+			}
 		}
 	}
 	for c := 0; c < s.nCores; c++ {
-		if groupMask&(1<<uint(c)) != 0 {
-			s.comm[c] = 0
+		if group.Has(c) {
+			clear(s.comm[c*s.commW : (c+1)*s.commW])
 		}
 	}
 	s.curInterval++
 }
 
 // FlushDirty cleans all dirty lines in the cache stacks of the cores in
-// groupMask, charging DRAM write energy, and returns the number of lines
-// flushed. This models the write-back of dirty data when a checkpoint is
-// established.
-func (s *System) FlushDirty(groupMask uint64) int {
+// group, charging DRAM write energy and each line's home shard controller,
+// and returns the number of lines flushed. This models the write-back of
+// dirty data when a checkpoint is established.
+func (s *System) FlushDirty(group CoreSet) int {
 	total := 0
+	charge := func(line int64) {
+		s.shardOfLine(line).ctrl.FlushWords += int64(s.cfg.LineWords)
+	}
 	for c := 0; c < s.nCores; c++ {
-		if groupMask&(1<<uint(c)) == 0 {
+		if !group.Has(c) {
 			continue
 		}
-		n := s.caches[c].l1d.FlushDirty()
-		n += s.caches[c].l2.FlushDirty()
+		n := s.caches[c].l1d.FlushDirtyEach(charge)
+		n += s.caches[c].l2.FlushDirtyEach(charge)
 		total += n
 	}
 	s.stats.FlushedLines += int64(total)
@@ -358,15 +547,30 @@ func (s *System) FlushDirty(groupMask uint64) int {
 
 // AppendDirtyWords appends to buf the addresses of every word whose log
 // bit is set — the words updated since the interval's log bits were last
-// cleared — and returns the extended slice. The scan is pure observation:
-// no timing, energy or log-bit effect. The differential checkpoint
-// strategy uses the log-bit array as its epoch dirty bitmap, scanning it
-// at establishment (before NewInterval clears it) to capture the epoch's
+// cleared — and returns the extended slice, in ascending address order
+// (shards are contiguous and walked in order, so the scan is bit-identical
+// to the pre-sharding flat array's). The scan is pure observation: no
+// timing, energy or log-bit effect. The differential checkpoint strategy
+// uses the log-bit array as its epoch dirty bitmap, scanning it at
+// establishment (before NewInterval clears it) to capture the epoch's
 // delta.
 func (s *System) AppendDirtyWords(buf []int64) []int64 {
-	for w, mask := range s.logBits {
+	for i := range s.shards {
+		buf = s.AppendDirtyWordsShard(i, buf)
+	}
+	return buf
+}
+
+// AppendDirtyWordsShard is AppendDirtyWords restricted to shard i's slice
+// of the address space. Shards are word-disjoint, so distinct shards may
+// be scanned concurrently (the differential strategy seals shard-parallel);
+// concatenating the per-shard results in shard order reproduces
+// AppendDirtyWords exactly.
+func (s *System) AppendDirtyWordsShard(i int, buf []int64) []int64 {
+	sh := &s.shards[i]
+	for w, mask := range sh.logBits {
 		for mask != 0 {
-			buf = append(buf, int64(w*64)+int64(bits.TrailingZeros64(mask)))
+			buf = append(buf, sh.base+int64(w*64)+int64(bits.TrailingZeros64(mask)))
 			mask &= mask - 1
 		}
 	}
@@ -377,11 +581,14 @@ func (s *System) AppendDirtyWords(buf []int64) []int64 {
 // needed) and returns it. Pure observation, used by checkpoint strategies
 // that retain full images.
 func (s *System) SnapshotWords(buf []int64) []int64 {
-	if cap(buf) < len(s.dram) {
-		buf = make([]int64, len(s.dram))
+	if cap(buf) < s.words {
+		buf = make([]int64, s.words)
 	}
-	buf = buf[:len(s.dram)]
-	copy(buf, s.dram)
+	buf = buf[:s.words]
+	for i := range s.shards {
+		sh := &s.shards[i]
+		copy(buf[sh.base:], sh.dram)
+	}
 	return buf
 }
 
@@ -431,21 +638,23 @@ func (s *System) ResetCaches() {
 }
 
 // DirtyLines reports the current number of dirty lines across the cache
-// stacks of cores in groupMask, without flushing.
-func (s *System) DirtyLines(groupMask uint64) int {
+// stacks of cores in group, without flushing.
+func (s *System) DirtyLines(group CoreSet) int {
 	n := 0
 	for c := 0; c < s.nCores; c++ {
-		if groupMask&(1<<uint(c)) != 0 {
+		if group.Has(c) {
 			n += s.caches[c].l1d.DirtyLines() + s.caches[c].l2.DirtyLines()
 		}
 	}
 	return n
 }
 
-// AllCoresMask returns the bitmask covering every core.
-func (s *System) AllCoresMask() uint64 {
-	if s.nCores == 64 {
-		return ^uint64(0)
-	}
-	return (1 << uint(s.nCores)) - 1
-}
+// AllCores returns the set containing every core. The set is built once at
+// construction and shared across calls — callers must treat it as
+// read-only (Clone before mutating).
+//
+//acr:noalloc
+func (s *System) AllCores() CoreSet { return s.allCores }
+
+// NCores returns the simulated core count.
+func (s *System) NCores() int { return s.nCores }

@@ -14,7 +14,7 @@ import (
 )
 
 // benchPoint is one benchmark configuration's measured numbers as exported
-// to BENCH_7.json.
+// to BENCH_8.json.
 type benchPoint struct {
 	Name    string `json:"name"`
 	Cores   int    `json:"cores"`
@@ -40,34 +40,37 @@ type benchPoint struct {
 	AllocsPerKInstr float64 `json:"allocs_per_kinstr"`
 }
 
-// loadBenchBaseline carries the committed BENCH_6.json results forward as
+// loadBenchBaseline carries the committed BENCH_7.json results forward as
 // this PR's reference point instead of re-hardcoding them: the file is the
-// single source of truth for the pre-compilation numbers, and the row named
-// base32Row inside it (17_666_397 ns/op as committed) anchors the issue's
-// ≥1.5x criterion for the block-compilation engine.
+// single source of truth for the pre-sharding numbers, and the 32-core
+// amnesic serial row inside it anchors the issue's ≥1.3x criterion for the
+// machine-scale work via naive per-core extrapolation.
 func loadBenchBaseline(t *testing.T) []benchPoint {
-	raw, err := os.ReadFile("../../BENCH_6.json")
+	raw, err := os.ReadFile("../../BENCH_7.json")
 	if err != nil {
-		t.Fatalf("reading BENCH_6 baseline: %v", err)
+		t.Fatalf("reading BENCH_7 baseline: %v", err)
 	}
 	var doc struct {
 		Results []benchPoint `json:"results"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		t.Fatalf("parsing BENCH_6 baseline: %v", err)
+		t.Fatalf("parsing BENCH_7 baseline: %v", err)
 	}
 	if len(doc.Results) == 0 {
-		t.Fatal("BENCH_6.json has no results rows")
+		t.Fatal("BENCH_7.json has no results rows")
 	}
 	return doc.Results
 }
 
-// base32Row is the BENCH_6 row the speedup criterion divides by: 32 cores,
-// uncheckpointed, serial — the configuration where per-instruction dispatch
-// dominates and block compilation has the most to win.
-const base32Row = "cores=32/strategy=none/workers=1"
+// base32Amnesic and base32None are the BENCH_7 rows the scale criterion
+// extrapolates from: 32 cores, serial, interpreter — the largest machine
+// the pre-sharding plane was benchmarked at.
+const (
+	base32Amnesic = "cores=32/strategy=amnesic/workers=1/compile=false"
+	base32None    = "cores=32/strategy=none/workers=1/compile=false"
+)
 
-// benchFile is the BENCH_7.json document.
+// benchFile is the BENCH_8.json document.
 type benchFile struct {
 	Issue       int    `json:"issue"`
 	Description string `json:"description"`
@@ -78,20 +81,31 @@ type benchFile struct {
 	HostCPUs int          `json:"host_cpus"`
 	Baseline []benchPoint `json:"baseline_pre_pr"`
 	Results  []benchPoint `json:"results"`
-	// CompileVsBench6 is BENCH_6's base32Row ns_per_op divided by this
-	// run's 32-core uncheckpointed serial compile=true ns_per_op — the
-	// issue's acceptance criterion (must be ≥ 1.5). It compares across
-	// invocations, so host noise leaks in; CompileVsInterp below is the
-	// same-invocation control.
-	CompileVsBench6 float64 `json:"speedup_32core_nockpt_serial_compile_vs_bench6"`
-	// CompileVsInterp is compile=false / compile=true ns_per_op for the
-	// 32-core uncheckpointed serial configuration, both measured in this
-	// invocation — the engine's dispatch win isolated from host drift.
-	CompileVsInterp float64 `json:"speedup_32core_nockpt_serial_compile_vs_interp"`
-	// CompileVsInterpAmnesic is the same ratio with amnesic checkpointing
-	// on: checkpoint establishment and energy modelling dilute the
-	// dispatch win, so this bounds the engine's end-to-end effect.
-	CompileVsInterpAmnesic float64 `json:"speedup_32core_amnesic_serial_compile_vs_interp"`
+	// ScaleVsBench7Amnesic is the issue's acceptance criterion (must be
+	// ≥ 1.3): BENCH_7's 32-core amnesic serial interpreter ns_per_op,
+	// extrapolated to the 128-core workload by instruction count (naive
+	// constant per-core cost), divided by this run's measured 128-core
+	// amnesic serial interpreter ns_per_op. It compares across
+	// invocations, so host noise leaks in; Drift32Amnesic below bounds
+	// that noise with this invocation's own 32-core row.
+	ScaleVsBench7Amnesic float64 `json:"speedup_128core_amnesic_serial_vs_bench7_percore"`
+	// ScaleVsBench7None is the same extrapolated ratio for the
+	// uncheckpointed rows.
+	ScaleVsBench7None float64 `json:"speedup_128core_nockpt_serial_vs_bench7_percore"`
+	// Drift32Amnesic is BENCH_7's 32-core amnesic serial interpreter
+	// ns_per_op divided by the same configuration re-measured in this
+	// invocation: >1 means this PR (plus host drift) made the identical
+	// machine faster, and it factors host drift out of the scale ratios.
+	Drift32Amnesic float64 `json:"speedup_32core_amnesic_serial_vs_bench7"`
+	// AvgQuantumInstrs is the serial engine's average dispatch quantum on
+	// the 128-core amnesic workload with coalescing on — the issue
+	// requires it to exceed the 2.7 instructions PR 9 measured for the
+	// flat scheduler. AvgQuantumOff is the same run with Coalesce=false.
+	AvgQuantumInstrs float64 `json:"avg_quantum_instrs_128core"`
+	AvgQuantumOff    float64 `json:"avg_quantum_instrs_128core_coalesce_off"`
+	// QuantumHist buckets the coalesce-on run's quantum lengths by powers
+	// of two (bucket 0: empty, bucket i: [2^(i-1), 2^i)).
+	QuantumHist []int64 `json:"quantum_hist_128core"`
 }
 
 // benchStrategySetup builds the configuration for one (cores, strategy)
@@ -210,11 +224,12 @@ func measureCfg(t *testing.T, cfg Config, p *prog.Program, name string, cores in
 	return pointFrom(r, name, cores, ckpt, res.Instrs)
 }
 
-// TestEmitBenchJSON regenerates BENCH_7.json: the block-compilation matrix —
-// three machine scales × {uncheckpointed, amnesic} × {interpreter, compiled}
-// × {serial, parallel}. It is gated behind ACR_BENCH_JSON (the output path,
-// or "1" for the repo-root default) so plain `go test ./...` stays fast; CI
-// runs it with -benchtime=1x as a smoke check and uploads the artifact, and
+// TestEmitBenchJSON regenerates BENCH_8.json: the machine-scale matrix —
+// 32 (drift anchor) / 64 / 128 / 256 cores × {uncheckpointed, amnesic} ×
+// {interpreter, compiled} × {serial, parallel}, plus the 128-core quantum
+// statistics. It is gated behind ACR_BENCH_JSON (the output path, or "1"
+// for the repo-root default) so plain `go test ./...` stays fast; CI runs
+// it with -benchtime=1x as a smoke check and uploads the artifact, and
 // maintainers refresh the committed file with a real benchtime:
 //
 //	ACR_BENCH_JSON=1 go test ./internal/sim -run TestEmitBenchJSON -benchtime=10x -timeout 30m
@@ -224,19 +239,20 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Skip("set ACR_BENCH_JSON to emit the benchmark JSON")
 	}
 	if path == "1" {
-		path = "../../BENCH_7.json"
+		path = "../../BENCH_8.json"
 	}
 
 	baseline := loadBenchBaseline(t)
 	doc := benchFile{
-		Issue:       7,
-		Description: "Block-compilation execution engine: basic blocks compiled to flat micro-op streams with interpreter deopt, bit-identical to per-instruction dispatch by contract. Measured on the synthetic NAS-shaped kernel (10 iterations, 48 words/thread; amnesic rows establish ~12 checkpoints per run) at three machine scales, serial (workers=1) and through the deterministic parallel engine (workers=N), with the engine off (compile absent) and on (compile=true). strategy=\"\" rows are the NoCkpt reference. Baseline is BENCH_6 (pre-compilation strategy matrix), loaded from the committed file.",
+		Issue:       8,
+		Description: "Sharded memory plane and quantum-coalescing scheduler: the machine-scale matrix at 32 (BENCH_7's largest, kept as the cross-invocation drift anchor), 64, 128 and 256 cores, serial (workers=1) and through the deterministic parallel engine (workers=N), interpreter (compile=false) and block-compiled (compile=true), uncheckpointed and amnesic. Same synthetic NAS-shaped kernel as BENCH_7 (10 iterations, 48 words/thread; amnesic rows establish ~12 checkpoints per run); quantum coalescing is on (the default) in every row — it is bit-identical to the flat scheduler by contract. Baseline is BENCH_7 (pre-sharding block-compilation matrix), loaded from the committed file; the speedup criteria extrapolate its 32-core per-core cost to 128 cores by instruction count.",
 		GoVersion:   runtime.Version(),
 		HostCPUs:    runtime.GOMAXPROCS(0),
 		Baseline:    baseline,
 	}
-	var interp32, compiled32, interp32Amn, compiled32Amn int64
-	for _, cores := range []int{8, 16, 32} {
+	type anchor struct{ nsPerOp, instrs int64 }
+	measured := map[string]anchor{}
+	for _, cores := range []int{32, 64, 128, 256} {
 		for _, kind := range []ckpt.Kind{-1, ckpt.KindAmnesic} {
 			label := "none"
 			if kind >= 0 {
@@ -249,32 +265,59 @@ func TestEmitBenchJSON(t *testing.T) {
 					doc.Results = append(doc.Results, pt)
 					t.Logf("%s: %d ns/op, %d allocs/op, %.3f sim-MIPS", pt.Name, pt.NsPerOp, pt.AllocsPerOp, pt.SimMIPS)
 				}
-				if cores == 32 && w == 1 {
-					switch kind {
-					case -1:
-						interp32, compiled32 = pair[0].NsPerOp, pair[1].NsPerOp
-					case ckpt.KindAmnesic:
-						interp32Amn, compiled32Amn = pair[0].NsPerOp, pair[1].NsPerOp
-					}
+				if w == 1 {
+					measured[pair[0].Name] = anchor{pair[0].NsPerOp, pair[0].Instrs}
 				}
 			}
 		}
 	}
-	if compiled32 > 0 {
-		if interp32 > 0 {
-			doc.CompileVsInterp = float64(interp32) / float64(compiled32)
+	// Scale criteria: naive extrapolation holds BENCH_7's per-core (equiv.
+	// per-instruction: the kernel's instruction count is linear in cores)
+	// cost constant from 32 to 128 cores.
+	extrapolate := func(baseRow, name string) float64 {
+		got, ok := measured[name]
+		if !ok || got.nsPerOp == 0 {
+			return 0
 		}
 		for _, row := range baseline {
-			if row.Name == base32Row {
-				doc.CompileVsBench6 = float64(row.NsPerOp) / float64(compiled32)
+			if row.Name == baseRow && row.Instrs > 0 {
+				naive := float64(row.NsPerOp) * float64(got.instrs) / float64(row.Instrs)
+				return naive / float64(got.nsPerOp)
 			}
 		}
-		if doc.CompileVsBench6 == 0 {
-			t.Errorf("BENCH_6 baseline is missing row %q; criterion speedup not computed", base32Row)
+		t.Errorf("BENCH_7 baseline is missing row %q; criterion speedup not computed", baseRow)
+		return 0
+	}
+	doc.ScaleVsBench7Amnesic = extrapolate(base32Amnesic, "cores=128/strategy=amnesic/workers=1/compile=false")
+	doc.ScaleVsBench7None = extrapolate(base32None, "cores=128/strategy=none/workers=1/compile=false")
+	if got, ok := measured[base32Amnesic]; ok && got.nsPerOp > 0 {
+		for _, row := range baseline {
+			if row.Name == base32Amnesic {
+				doc.Drift32Amnesic = float64(row.NsPerOp) / float64(got.nsPerOp)
+			}
 		}
 	}
-	if interp32Amn > 0 && compiled32Amn > 0 {
-		doc.CompileVsInterpAmnesic = float64(interp32Amn) / float64(compiled32Amn)
+
+	// Quantum statistics: one un-timed serial 128-core amnesic run per
+	// coalescer setting, the same workload as the measured rows.
+	quantum := func(coalesce bool) SchedStats {
+		cfg, p := benchStrategySetup(t, 128, 10, ckpt.KindAmnesic)
+		cfg.Coalesce = coalesce
+		m, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.SchedStats()
+	}
+	on := quantum(true)
+	doc.AvgQuantumInstrs = on.AvgQuantum()
+	doc.AvgQuantumOff = quantum(false).AvgQuantum()
+	doc.QuantumHist = append([]int64(nil), on.QuantumHist[:]...)
+	if doc.AvgQuantumInstrs <= 2.7 {
+		t.Errorf("average serial quantum %.2f with coalescing on, want > 2.7", doc.AvgQuantumInstrs)
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")
@@ -285,8 +328,9 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s (32-core serial no-ckpt: compile vs BENCH_6 %.2fx, vs same-run interpreter %.2fx; amnesic %.2fx; %d host CPUs)",
-		path, doc.CompileVsBench6, doc.CompileVsInterp, doc.CompileVsInterpAmnesic, doc.HostCPUs)
+	t.Logf("wrote %s (128-core serial interp vs BENCH_7 per-core: amnesic %.2fx, none %.2fx; 32-core drift %.2fx; avg quantum %.2f on / %.2f off; %d host CPUs)",
+		path, doc.ScaleVsBench7Amnesic, doc.ScaleVsBench7None, doc.Drift32Amnesic,
+		doc.AvgQuantumInstrs, doc.AvgQuantumOff, doc.HostCPUs)
 }
 
 // TestBenchAllocBudget is the allocation ceiling on the per-instruction

@@ -126,7 +126,7 @@ func (co *ckptCoordinator) establish() {
 		// group makes this tMax, i.e. full coordination skew).
 		tg := int64(0)
 		for _, c := range m.cores {
-			if g.Mask&(1<<uint(c.ID)) != 0 && c.State != cpu.Halted && c.Cycles() > tg {
+			if g.Members.Has(c.ID) && c.State != cpu.Halted && c.Cycles() > tg {
 				tg = c.Cycles()
 			}
 		}
@@ -138,7 +138,7 @@ func (co *ckptCoordinator) establish() {
 			maxRelease = release
 		}
 		for _, c := range m.cores {
-			if g.Mask&(1<<uint(c.ID)) != 0 && c.State != cpu.Halted {
+			if g.Members.Has(c.ID) && c.State != cpu.Halted {
 				c.SetCycles(release)
 			}
 		}

@@ -28,6 +28,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"acr/internal/analysis"
 	"acr/internal/ckpt"
@@ -35,6 +36,7 @@ import (
 	"acr/internal/cpu"
 	"acr/internal/energy"
 	"acr/internal/fault"
+	"acr/internal/isa"
 	"acr/internal/mem"
 	"acr/internal/prog"
 	"acr/internal/slice"
@@ -104,6 +106,19 @@ type Config struct {
 	// time changes. 0 and 1 mean serial execution.
 	Workers int
 
+	// Coalesce enables scheduler quantum coalescing on the serial engine:
+	// when a pick's bound is set by a peer core whose next instructions
+	// are core-private (register-only ALU, branches, NOPs — they touch no
+	// shared line, no barrier, no checkpoint state), the peer's private
+	// prefix is executed eagerly. Private instructions commute across
+	// cores, so eager execution is exactly the serial interleaving
+	// reordered within a commutative window — and it raises the pick's
+	// bound, so the picked core dispatches longer quanta (the PR 9
+	// finding: the average serial quantum of 2.7 instructions kept the
+	// block engine at parity). Results are bit-identical with the knob
+	// off; only wall clock moves — a speed seam like Compile and Workers.
+	Coalesce bool
+
 	// RecordTimeline retains checkpoint/recovery events in the Result.
 	RecordTimeline bool
 	// TimelineCap bounds the recorded timeline to the most recent N
@@ -125,6 +140,7 @@ func DefaultConfig(cores int) Config {
 		Energy:   energy.Default22nm(),
 		ACR:      acr.DefaultConfig(cores),
 		MaxSteps: 2_000_000_000,
+		Coalesce: true,
 	}
 }
 
@@ -249,9 +265,19 @@ type Machine struct {
 	observers []Observer
 	timeline  *timelineRecorder
 
-	barriers int64
-	steps    int64
-	parStats ParallelStats
+	barriers   int64
+	steps      int64
+	parStats   ParallelStats
+	schedStats SchedStats
+	// eagerSpan carries the instructions the last coalesce call retired
+	// eagerly into the next stepSpan's quantum accounting, so the quantum
+	// metric reads "instructions retired per scheduler dispatch".
+	eagerSpan int64
+	// eagerFn is the bound method value of eagerSteps, and hooks the
+	// machine boxed as cpu.Hooks — both taken once at construction so the
+	// per-pick coalescing path allocates nothing.
+	eagerFn func(*cpu.Core, int64) bool
+	hooks   cpu.Hooks
 
 	// archScratch is the reusable buffer archStates fills per checkpoint
 	// boundary; both consumers (ckpt.NewManager, ckpt.Establish) copy it
@@ -313,7 +339,11 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 	if words == 0 {
 		words = 64
 	}
-	m.sys = mem.NewSystem(cfg.Mem, cfg.Cores, words, m.meter)
+	sys, err := mem.NewSystem(cfg.Mem, cfg.Cores, words, m.meter)
+	if err != nil {
+		return nil, err
+	}
+	m.sys = sys
 	if p.Init != nil {
 		buf := make([]int64, words)
 		p.Init(buf)
@@ -329,6 +359,8 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		m.cores[i] = cpu.New(i, p.Entry, cfg.Cores)
 	}
 	m.sched = newScheduler(m.cores)
+	m.eagerFn = m.eagerSteps
+	m.hooks = m
 
 	if cfg.Amnesic {
 		if !cfg.Checkpointing {
@@ -447,7 +479,28 @@ const handlerCycles = 25
 // Within a quantum only the picked core's clock moves, so the instruction
 // interleaving — and therefore every statistic — is bit-identical to the
 // per-instruction scheduling it replaces.
+// SchedStatsObserver is an optional Observer extension: when a run
+// completes, the machine hands the serial engine's dispatch diagnostics to
+// every configured observer that implements it. Kept separate from the
+// event stream because SchedStats describe the engine, not the simulated
+// machine — they vary with Coalesce/Compile/Workers while Result does not.
+type SchedStatsObserver interface {
+	ObserveSchedStats(SchedStats)
+}
+
 func (m *Machine) Run() (Result, error) {
+	res, err := m.runEngine()
+	if err == nil {
+		for _, o := range m.cfg.Observers {
+			if so, ok := o.(SchedStatsObserver); ok {
+				so.ObserveSchedStats(m.schedStats)
+			}
+		}
+	}
+	return res, err
+}
+
+func (m *Machine) runEngine() (Result, error) {
 	if m.cfg.Workers > 1 && len(m.cores) > 1 {
 		return m.runParallel()
 	}
@@ -498,9 +551,29 @@ func (m *Machine) runSerial() (Result, error) {
 			continue
 		}
 
-		// No event before the horizon: run the quantum. The bound shrinks
-		// to the next armed event so the event fires exactly when the
-		// minimum clock reaches it, as before.
+		// No event before the horizon: run the quantum. Coalescing first
+		// tries to raise the bound by eagerly retiring peers' core-private
+		// prefixes — capped by the coalescing window and, crucially, by
+		// every armed event time, so no peer ever executes across a
+		// checkpoint boundary or an error-detection point. The bound then
+		// shrinks to the next armed event as before, so the event fires
+		// exactly when the minimum clock reaches it.
+		if m.cfg.Coalesce && bound != unbounded {
+			ceil := c.Cycles() + coalesceWindow
+			if haveCkpt && ckptTime < ceil {
+				ceil = ckptTime
+			}
+			if haveErr && errDetect < ceil {
+				ceil = errDetect
+			}
+			if bound < ceil {
+				e0 := m.schedStats.EagerInstrs
+				bound = m.sched.coalesce(c, bound, ceil, m.eagerFn)
+				// Attribute the eager work to this dispatch: the
+				// quantum metric counts instructions retired per pick.
+				m.eagerSpan = m.schedStats.EagerInstrs - e0
+			}
+		}
 		if haveCkpt && ckptTime < bound {
 			bound = ckptTime
 		}
@@ -522,17 +595,22 @@ func (m *Machine) runSerial() (Result, error) {
 // Energy flushes once per quantum instead of once per instruction; counts
 // are commutative, so totals stay bit-identical.
 func (m *Machine) stepSpan(c *cpu.Core, bound int64) error {
+	var n int64
 	if m.runner != nil {
-		m.steps += m.runner.Run(c, bound, m.cfg.MaxSteps-m.steps+1)
+		n = m.runner.Run(c, bound, m.cfg.MaxSteps-m.steps+1)
+		m.steps += n
 	} else {
 		for c.State == cpu.Running && c.Cycles() < bound {
 			c.Step(m.program, m.sys, m.tracker, m)
 			m.steps++
+			n++
 			if m.steps > m.cfg.MaxSteps {
 				break
 			}
 		}
 	}
+	m.schedStats.note(n + m.eagerSpan)
+	m.eagerSpan = 0
 	if m.steps > m.cfg.MaxSteps {
 		c.FlushAccounting(m.meter)
 		return fmt.Errorf("sim: exceeded %d steps (runaway program?)", m.cfg.MaxSteps)
@@ -540,6 +618,91 @@ func (m *Machine) stepSpan(c *cpu.Core, bound int64) error {
 	c.FlushAccounting(m.meter)
 	m.sched.noteClock(c.Cycles())
 	return nil
+}
+
+// coalesceWindow bounds how far past the picked core's clock (in cycles)
+// peers are eagerly advanced during quantum coalescing. A small window
+// keeps the reordering local: eager work is never more than one cache-miss
+// latency ahead of the architectural frontier.
+const coalesceWindow = 64
+
+// maxEagerSteps caps the instruction budget of a single eager call so one
+// long register-only stretch cannot monopolise the run loop between picks.
+const maxEagerSteps = 256
+
+// SchedStats summarises the serial engine's dispatch granularity. Like
+// ParallelStats these are engine diagnostics — they are not part of the
+// architectural Result, so Result stays bit-identical across Coalesce,
+// Compile, and Workers settings.
+type SchedStats struct {
+	// Spans counts dispatched quanta; SpanInstrs the instructions retired
+	// per dispatch — the picked core's quantum plus any peer instructions
+	// the coalescer eagerly retired to raise that pick's bound.
+	// SpanInstrs/Spans is the average serial quantum length — the number
+	// PR 9 measured at 2.7 for the flat scheduler.
+	Spans      int64
+	SpanInstrs int64
+	// EagerCalls and EagerInstrs count coalescing's eager private-prefix
+	// executions: peer instructions retired outside any quantum to raise
+	// the pick bound.
+	EagerCalls  int64
+	EagerInstrs int64
+	// QuantumHist buckets quantum lengths by powers of two: bucket 0
+	// counts empty quanta, bucket i>0 counts lengths in [2^(i-1), 2^i).
+	// The last bucket absorbs overflow.
+	QuantumHist [16]int64
+}
+
+//acr:noalloc
+func (s *SchedStats) note(n int64) {
+	s.Spans++
+	s.SpanInstrs += n
+	b := bits.Len64(uint64(n))
+	if b >= len(s.QuantumHist) {
+		b = len(s.QuantumHist) - 1
+	}
+	s.QuantumHist[b]++
+}
+
+// SchedStats reports serial-engine dispatch diagnostics for the run so far.
+func (m *Machine) SchedStats() SchedStats { return m.schedStats }
+
+// AvgQuantum returns the average quantum length in instructions, 0 before
+// any quantum has been dispatched.
+func (s SchedStats) AvgQuantum() float64 {
+	if s.Spans == 0 {
+		return 0
+	}
+	return float64(s.SpanInstrs) / float64(s.Spans)
+}
+
+// eagerSteps retires core p's private-instruction prefix while its clock is
+// below ceil, reporting whether it advanced at all. Private instructions —
+// register-only ALU ops, branches, NOPs, and ASSOCADDR markers with
+// association disabled — read and write only p's own architectural state
+// and per-core accounting, so retiring them here commutes with every other
+// core's execution: the machine state after the full run is bit-identical
+// to the strict smallest-clock-first order. Memory operations, barriers,
+// halts and enabled association markers end the prefix.
+//
+//acr:noalloc
+func (m *Machine) eagerSteps(p *cpu.Core, ceil int64) bool {
+	code := m.program.Code
+	advanced := false
+	for n := 0; n < maxEagerSteps && p.State == cpu.Running && p.Cycles() < ceil && m.steps < m.cfg.MaxSteps; n++ {
+		op := code[p.PC].Op
+		if !(op == isa.NOP || op.IsALU() || op.IsBranch() || (op == isa.ASSOCADDR && !p.AssocEnabled)) {
+			break
+		}
+		p.Step(m.program, m.sys, m.tracker, m.hooks)
+		m.steps++
+		m.schedStats.EagerInstrs++
+		advanced = true
+	}
+	if advanced {
+		m.schedStats.EagerCalls++
+	}
+	return advanced
 }
 
 // releaseBarrier resumes all barrier-waiting cores at the synchronised time,

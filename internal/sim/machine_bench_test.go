@@ -45,11 +45,12 @@ func benchWorkersDim() []int {
 
 // BenchmarkMachineRun measures the simulator's hot loop — the quantum-
 // batched scheduler plus core stepping — at the paper's three machine
-// scales, with and without (amnesic) checkpointing, serial and through the
-// parallel engine. The reported metric is wall-clock per simulated run;
-// sim-MIPS puts it in simulator terms.
+// scales plus the sharded plane's 128/256-core rows, with and without
+// (amnesic) checkpointing, serial and through the parallel engine. The
+// reported metric is wall-clock per simulated run; sim-MIPS puts it in
+// simulator terms.
 func BenchmarkMachineRun(b *testing.B) {
-	for _, cores := range []int{8, 16, 32} {
+	for _, cores := range []int{8, 16, 32, 128, 256} {
 		for _, ckpt := range []bool{false, true} {
 			for _, w := range benchWorkersDim() {
 				for _, compile := range []bool{false, true} {

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"math/bits"
-
 	"acr/internal/ckpt"
 	"acr/internal/fault"
 )
@@ -62,12 +60,12 @@ func (re *recoveryEngine) recover(errOccur, errDetect int64) error {
 	// the erring core's communication component under Local (the paper's
 	// coordinated-local recovery, §V-E). The erring core rotates
 	// deterministically across injected errors.
-	groupMask := m.sys.AllCoresMask()
+	group := m.sys.AllCores()
 	if m.mgr.Mode() == ckpt.Local {
 		errCore := re.errIndex % len(m.cores)
 		for _, g := range m.sys.CommGroups() {
-			if g&(1<<uint(errCore)) != 0 {
-				groupMask = g
+			if g.Has(errCore) {
+				group = g
 				break
 			}
 		}
@@ -76,11 +74,11 @@ func (re *recoveryEngine) recover(errOccur, errDetect int64) error {
 
 	maxRecompute := int64(0)
 	for coreID, rc := range info.RecomputeCycles {
-		if groupMask&(1<<uint(coreID)) != 0 && rc > maxRecompute {
+		if group.Has(coreID) && rc > maxRecompute {
 			maxRecompute = rc
 		}
 	}
-	stall := handlerCycles + barrierCycles(bits.OnesCount64(groupMask)) +
+	stall := handlerCycles + barrierCycles(group.Count()) +
 		m.sys.TransferCycles(int(info.LogWordsRead+info.WordsRestored)) +
 		m.sys.FastTransferCycles(int(info.FastLogWordsRead)) +
 		maxRecompute
@@ -91,7 +89,7 @@ func (re *recoveryEngine) recover(errOccur, errDetect int64) error {
 	// is confined to the group).
 	for i, c := range m.cores {
 		c.Restore(&target.Arch[i])
-		if groupMask&(1<<uint(c.ID)) != 0 {
+		if group.Has(c.ID) {
 			c.SetCycles(release)
 		} else {
 			c.SetCycles(tDetect)

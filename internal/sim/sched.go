@@ -61,34 +61,41 @@ type scheduler struct {
 	clockHi   int64
 	liveStale bool
 
-	// bkts is a calendar queue over the running cores: one bucket per
-	// distinct clock value, sorted ascending from index bhd, each holding
-	// the bitmask of core ids at that clock. The reference pick scans
-	// every core per pick, which at 32 cores touches 32 scattered Core
-	// structs — a cache-line walk that dominated the run-loop profile.
-	// Here a pick is O(1): the best core is the lowest set bit of the
-	// front bucket, and the bound needs at most the front and second
-	// buckets (see pick). Between picks only the picked core's clock
-	// moves (quantum isolation), so maintenance is one sorted reinsertion
-	// near the front; any event that changes the running population or
-	// moves other cores' clocks (state transitions, checkpoint releases,
-	// recovery rewinds, parallel-round commits) marks the queue stale and
-	// the next pick rebuilds it, which keeps maintenance O(events ×
-	// cores) like the population counters. Machines wider than 64 cores
-	// fall back to the reference scan (wide).
+	// bkts is a grouped calendar queue over the running cores: one bucket
+	// per distinct (clock, 64-core id group) pair, sorted ascending by
+	// (cyc, grp) from index bhd, each holding the bitmask of core ids
+	// (within the group) at that clock. The reference pick scans every
+	// core per pick, which at 32 cores touches 32 scattered Core structs —
+	// a cache-line walk that dominated the run-loop profile; at 128 or 256
+	// cores it is four to eight times worse. Here a pick is O(1) at any
+	// machine width: the best core is the lowest set bit of the front
+	// bucket (minimal clock, minimal group, so minimal id among min-clock
+	// cores), and the bound needs at most the front and second buckets
+	// (see pick). Between picks only the picked core's clock moves
+	// (quantum isolation) plus any peers coalesce eagerly advanced — both
+	// maintain the queue by sorted reinsertion near the front; any event
+	// that changes the running population or moves other cores' clocks
+	// (state transitions, checkpoint releases, recovery rewinds,
+	// parallel-round commits) marks the queue stale and the next pick
+	// rebuilds it, which keeps maintenance O(events × cores) like the
+	// population counters.
 	bkts      []pickBkt
 	bhd       int
 	pickStale bool
 	// lastIdx is the core id removed by the previous pick whose bit is
 	// pending reinsertion at its advanced clock, -1 if none.
 	lastIdx int
-	wide    bool
 }
 
-// pickBkt is one calendar-queue bucket: the set of running cores (by id
-// bit) whose clock equals cyc.
+// pickBkt is one grouped calendar-queue bucket: the set of running cores
+// with id in [64*grp, 64*grp+64) (bit i ⇒ core 64*grp+i) whose clock
+// equals cyc. Splitting each clock value by id group keeps the bucket mask
+// one machine word at every core count while preserving the ordering the
+// pick needs: ascending (cyc, grp) order enumerates min-clock cores in
+// ascending id order.
 type pickBkt struct {
 	cyc  int64
+	grp  int32
 	mask uint64
 }
 
@@ -103,14 +110,14 @@ var debugCheckAggregates bool
 // newScheduler attaches the state hook to every core and seeds the
 // population counters.
 func newScheduler(cores []*cpu.Core) *scheduler {
-	// Bucket storage never reallocates: ≤ 64 live buckets plus ≤ 64 dead
-	// front entries between compactions (see pick).
+	// Bucket storage never reallocates: ≤ len(cores) live buckets plus a
+	// bounded run of dead front entries between compactions (pick and
+	// coalesce both compact once bhd reaches 64 — see compact).
 	s := &scheduler{
 		cores:     cores,
-		bkts:      make([]pickBkt, 0, 160),
+		bkts:      make([]pickBkt, 0, len(cores)+96),
 		pickStale: true,
 		lastIdx:   -1,
-		wide:      len(cores) > 64,
 	}
 	for _, c := range cores {
 		s.counts[c.State]++
@@ -192,31 +199,34 @@ func (s *scheduler) halted() int    { return s.counts[cpu.Halted] }
 // higher-id peer loses ties, so it bounds one cycle later. The caller must
 // ensure at least one core is running.
 //
-// The answer is served from the calendar queue. The best core is the
-// lowest set bit of the front (minimum-clock) bucket: every other core in
-// that bucket has the same clock and a higher id. Writing limit(c) =
-// c.Cycles() + (1 if c.ID > best.ID else 0), the bound is the minimum
-// limit over all non-best cores (exactly what pickScan computes):
+// The answer is served from the grouped calendar queue. The best core is
+// the lowest set bit of the front (minimum (clock, group)) bucket: every
+// other min-clock core has either the same group and a higher bit, or a
+// higher group — a higher id either way. Writing limit(c) = c.Cycles() +
+// (1 if c.ID > best.ID else 0), the bound is the minimum limit over all
+// non-best cores (exactly what pickScan computes):
 //
 //   - the front bucket's remaining cores contribute cyc+1 (higher ids);
-//   - the second bucket at cyc2 > cyc contributes cyc2 if it holds a core
-//     with a lower id than best's, else cyc2+1;
-//   - every later bucket at cyc3 > cyc2 contributes at least cyc3 ≥
-//     cyc2+1, which the second bucket's contribution never exceeds, so
-//     later buckets can be ignored — and when the front bucket still has
-//     cores, its cyc+1 ≤ cyc2 dominates everything else.
+//   - the second bucket contributes its cyc when it can hold a core with
+//     a lower id than best's — a strictly lower group, or best's own
+//     group with a bit below best's — and cyc+1 otherwise;
+//   - every later bucket sorts ≥ the second in (cyc, grp), and a case
+//     split on (clock, group) against best's shows its contribution never
+//     beats the second bucket's: a later bucket at the same clock has a
+//     higher group, so if the second bucket's group is ≤ best's its cyc
+//     dominates, and if it is > best's both contribute cyc+1. When the
+//     front bucket still has cores, its cyc+1 ≤ any later contribution
+//     dominates everything else.
 //
 // The picked core's bit is removed here and reinserted at its advanced
 // clock on the next pick (quantum isolation: nothing else moves between
-// picks); events that move other clocks or change the running set mark
+// picks except peers coalesce advances, and coalesce does its own queue
+// surgery); events that move other clocks or change the running set mark
 // the queue stale (transition, invalidate, clocksMoved) and it is rebuilt
-// here. Machines wider than 64 core-id bits use the reference scan.
+// here.
 //
 //acr:noalloc
 func (s *scheduler) pick() (*cpu.Core, int64) {
-	if s.wide {
-		return s.pickScan()
-	}
 	if s.pickStale {
 		s.rebuildBkts()
 	} else if s.lastIdx >= 0 {
@@ -227,32 +237,19 @@ func (s *scheduler) pick() (*cpu.Core, int64) {
 	if s.bhd == len(s.bkts) {
 		return nil, unbounded
 	}
-	if s.bhd >= 64 {
-		// Compact dead front entries so the backing array never grows
-		// past its fixed capacity.
-		n := copy(s.bkts, s.bkts[s.bhd:])
-		s.bkts = s.bkts[:n]
-		s.bhd = 0
-	}
+	s.compact()
 	f := &s.bkts[s.bhd]
 	bit := bits.TrailingZeros64(f.mask)
-	best := s.cores[bit]
+	best := s.cores[int(f.grp)<<6|bit]
 	f.mask &^= 1 << uint(bit)
 	bound := unbounded
 	if f.mask != 0 {
 		bound = f.cyc + 1
 	} else {
 		s.bhd++
-		if s.bhd < len(s.bkts) {
-			n := &s.bkts[s.bhd]
-			if n.mask&((1<<uint(bit))-1) != 0 {
-				bound = n.cyc
-			} else {
-				bound = n.cyc + 1
-			}
-		}
+		bound = s.frontBound(best)
 	}
-	s.lastIdx = bit
+	s.lastIdx = best.ID
 	if debugCheckAggregates {
 		if sb, sbound := s.pickScan(); sb != best || sbound != bound {
 			panic(fmt.Sprintf("sim: calendar pick (core %d, bound %d) != scan pick (core %d, bound %d)",
@@ -260,6 +257,81 @@ func (s *scheduler) pick() (*cpu.Core, int64) {
 		}
 	}
 	return best, bound
+}
+
+// compact drops dead front entries once they accumulate so the backing
+// array never grows past its fixed capacity. Both pick and every coalesce
+// iteration call it, bounding bhd by 64 at every append point.
+//
+//acr:noalloc
+func (s *scheduler) compact() {
+	if s.bhd < 64 {
+		return
+	}
+	n := copy(s.bkts, s.bkts[s.bhd:])
+	s.bkts = s.bkts[:n]
+	s.bhd = 0
+}
+
+// frontBound returns the quantum bound the current front bucket imposes on
+// best, with best's own bit already removed from the queue: the front's
+// cyc when it can hold a lower id than best's (lower group, or best's
+// group with a bit below best's), cyc+1 otherwise, unbounded on an empty
+// queue. The later-buckets-dominated argument on pick applies verbatim.
+//
+//acr:noalloc
+func (s *scheduler) frontBound(best *cpu.Core) int64 {
+	if s.bhd == len(s.bkts) {
+		return unbounded
+	}
+	n := &s.bkts[s.bhd]
+	grp := int32(best.ID >> 6)
+	bit := uint(best.ID & 63)
+	if n.grp < grp || (n.grp == grp && n.mask&((1<<bit)-1) != 0) {
+		return n.cyc
+	}
+	return n.cyc + 1
+}
+
+// coalesce tries to raise a fresh pick's bound toward ceil by retiring the
+// binding peers' core-private instruction prefixes through the machine's
+// eager callback. The peer that sets the bound is by construction at the
+// front of the queue (best's bit is already removed); if its next
+// instructions are private the callback retires them — private
+// instructions commute across cores, so machine state stays bit-identical
+// to strict min-clock order — and the peer is reinserted at its advanced
+// clock, which recomputes a (weakly) larger bound. The loop stops at the
+// first peer the callback cannot advance, or once the bound reaches ceil,
+// which the caller caps at every armed event time so no peer executes
+// across a checkpoint boundary or error detection. The returned bound may
+// exceed ceil (the reinserted peer can jump past it); the caller clamps
+// against event times afterwards, exactly as for an ordinary pick bound.
+//
+//acr:noalloc
+func (s *scheduler) coalesce(best *cpu.Core, bound, ceil int64, eager func(*cpu.Core, int64) bool) int64 {
+	for bound < ceil {
+		if s.bhd == len(s.bkts) {
+			return unbounded
+		}
+		s.compact()
+		f := &s.bkts[s.bhd]
+		bit := bits.TrailingZeros64(f.mask)
+		id := int(f.grp)<<6 | bit
+		p := s.cores[id]
+		if !eager(p, ceil) {
+			return bound
+		}
+		// The peer advanced (private ops only, so it is still running):
+		// reinsert it at its new clock and recompute the bound.
+		f.mask &^= 1 << uint(bit)
+		if f.mask == 0 {
+			s.bhd++
+		}
+		s.insertBkt(p.Cycles(), uint(id))
+		s.noteClock(p.Cycles())
+		bound = s.frontBound(best)
+	}
+	return bound
 }
 
 // pickScan is the reference O(cores) fused scan pick retains as the debug
@@ -312,24 +384,26 @@ func (s *scheduler) rebuildBkts() {
 	s.lastIdx = -1
 }
 
-// insertBkt adds core id bit at clock cyc, keeping buckets sorted from
-// bhd. Reinsertion clocks sit at or just past the front, so the linear
-// probe is short.
+// insertBkt adds core id at clock cyc, keeping buckets sorted by
+// (cyc, grp) from bhd. Reinsertion clocks sit at or just past the front,
+// so the linear probe is short.
 //
 //acr:noalloc
-func (s *scheduler) insertBkt(cyc int64, bit uint) {
+func (s *scheduler) insertBkt(cyc int64, id uint) {
+	grp := int32(id >> 6)
+	bit := id & 63
 	b := s.bkts
 	i := s.bhd
-	for i < len(b) && b[i].cyc < cyc {
+	for i < len(b) && (b[i].cyc < cyc || (b[i].cyc == cyc && b[i].grp < grp)) {
 		i++
 	}
-	if i < len(b) && b[i].cyc == cyc {
+	if i < len(b) && b[i].cyc == cyc && b[i].grp == grp {
 		b[i].mask |= 1 << bit
 		return
 	}
-	b = append(b, pickBkt{}) //acr:alloc-ok capacity fixed at construction; pick compacts before it can overflow
+	b = append(b, pickBkt{}) //acr:alloc-ok capacity fixed at construction; pick and coalesce compact before it can overflow
 	copy(b[i+1:], b[i:len(b)-1])
-	b[i] = pickBkt{cyc: cyc, mask: 1 << bit}
+	b[i] = pickBkt{cyc: cyc, grp: grp, mask: 1 << bit}
 	s.bkts = b
 }
 

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"acr/internal/cpu"
+)
+
+// BenchmarkSchedulerPick isolates the scheduler's pick/advance/reinsert
+// cycle — the operation the grouped calendar queue makes O(1) — across
+// machine widths up to 256 cores. The reference scan is O(cores) per pick,
+// so its cost quadruples from 64 to 256 cores; the queue's should stay flat.
+// Core clocks start staggered and each pick advances the chosen core by a
+// short quantum, the steady-state shape of the serial run loop.
+func BenchmarkSchedulerPick(b *testing.B) {
+	for _, n := range []int{8, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			cores := make([]*cpu.Core, n)
+			for i := range cores {
+				cores[i] = cpu.New(i, 0, n)
+				cores[i].AddCycles(int64(i % 7))
+			}
+			s := newScheduler(cores)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				best, _ := s.pick()
+				best.AddCycles(3)
+				s.noteClock(best.Cycles())
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerPickScan is the same cycle through the O(cores)
+// reference scan, the pre-queue cost model — kept for the comparison the
+// pick benchmark's flat profile is measured against.
+func BenchmarkSchedulerPickScan(b *testing.B) {
+	for _, n := range []int{8, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			cores := make([]*cpu.Core, n)
+			for i := range cores {
+				cores[i] = cpu.New(i, 0, n)
+				cores[i].AddCycles(int64(i % 7))
+			}
+			s := newScheduler(cores)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				best, _ := s.pickScan()
+				best.AddCycles(3)
+				s.noteClock(best.Cycles())
+			}
+		})
+	}
+}

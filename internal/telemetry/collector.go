@@ -200,6 +200,58 @@ func (c *Collector) ObserveResult(res sim.Result) {
 	}
 }
 
+// SchedCollector exports the serial engine's dispatch diagnostics — the
+// quantum-length histogram and the coalescing counters. It is a separate
+// observer from Collector because sim.SchedStats describe the engine, not
+// the simulated machine: they move with the Coalesce/Compile/Workers speed
+// seams while Result does not, and profiles recorded without a
+// SchedCollector attached (notably the fastpath oracle fixture) must stay
+// byte-identical.
+type SchedCollector struct{ reg *Registry }
+
+// NewSchedCollector returns a collector writing into reg when a run
+// completes.
+func NewSchedCollector(reg *Registry) *SchedCollector { return &SchedCollector{reg: reg} }
+
+// OnEvent implements sim.Observer; SchedCollector only consumes the
+// end-of-run diagnostics.
+func (s *SchedCollector) OnEvent(sim.Event) {}
+
+// ObserveSchedStats implements sim.SchedStatsObserver.
+func (s *SchedCollector) ObserveSchedStats(st sim.SchedStats) {
+	hist := s.reg.Histogram("acr_sched_quantum_instrs",
+		"Serial-engine quantum lengths in retired instructions (power-of-two buckets).",
+		quantumBuckets())
+	for i, n := range st.QuantumHist {
+		if n == 0 {
+			continue
+		}
+		// Bucket i of the machine histogram holds lengths in
+		// [2^(i-1), 2^i - 1] (bucket 0: empty quanta); import it at its
+		// inclusive upper bound, which is exactly a registry bucket edge.
+		hist.With().ObserveN(float64(int64(1)<<uint(i)-1), uint64(n))
+	}
+	s.reg.Gauge("acr_sched_quantum_avg_instrs",
+		"Average serial quantum length in instructions (span instructions / spans).").
+		Set(st.AvgQuantum())
+	s.reg.Gauge("acr_sched_spans",
+		"Quanta dispatched by the serial engine.").Set(float64(st.Spans))
+	s.reg.Gauge("acr_sched_eager_calls",
+		"Coalescing eager executions that advanced a peer core.").Set(float64(st.EagerCalls))
+	s.reg.Gauge("acr_sched_eager_instrs",
+		"Peer instructions retired eagerly by quantum coalescing.").Set(float64(st.EagerInstrs))
+}
+
+// quantumBuckets are the registry-side edges mirroring the machine's
+// power-of-two quantum histogram: 2^i - 1 for i in [0, 15).
+func quantumBuckets() []float64 {
+	out := make([]float64, 15)
+	for i := range out {
+		out[i] = float64(int64(1)<<uint(i) - 1)
+	}
+	return out
+}
+
 func replayBuckets() []float64 {
 	out := make([]float64, len(ckpt.ReplayLenBuckets))
 	for i, b := range ckpt.ReplayLenBuckets {

@@ -80,6 +80,44 @@ func BadBlockClosure(t *table, pc int) func() {
 	}
 }
 
+// shard mimics one slice of the line-sharded memory plane: a dirty-line
+// scratch list sealed into each checkpoint.
+type shard struct {
+	dirty  []int64
+	sealed int64
+}
+
+// BadShardSeal is the sharded-seal anti-pattern: capturing the shard in a
+// fresh closure on every seal. The seal runs once per checkpoint per shard
+// — at 256 shards the per-seal closure (and the append into an unsized
+// batch) turns the checkpoint path into an allocation storm. The clean
+// shape passes the shard by index to a prebound method value and reuses a
+// capacity-fixed batch, as GoodShardSeal shows.
+//
+//acr:noalloc
+func BadShardSeal(shards []shard, ck int64) []func() {
+	var pending []func()
+	for i := range shards {
+		s := &shards[i]
+		pending = append(pending, func() { // want "append may grow its backing array" "closure may escape to the heap"
+			s.sealed = ck
+			s.dirty = s.dirty[:0]
+		})
+	}
+	return pending
+}
+
+// GoodShardSeal seals every shard in place: no closures, no growth — the
+// shape the sharded memory plane's checkpoint path must keep.
+//
+//acr:noalloc
+func GoodShardSeal(shards []shard, ck int64) {
+	for i := range shards {
+		shards[i].sealed = ck
+		shards[i].dirty = shards[i].dirty[:0]
+	}
+}
+
 // GoodHot is the steady-state hot-path shape: indexing, arithmetic, field
 // writes, justified amortized growth and panic-path formatting.
 //
